@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the hot numeric kernels: matmul, the
+//! interaction-tower forward/backward, and the two MMD estimators
+//! (the paper's O(D^2) vs O(D) complexity claim, Sec. 3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use st_tensor::{Activation, Gradients, Init, Matrix, Mlp, ParamStore, Tape};
+use st_transrec_core::{mmd_loss, MmdEstimator};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = SmallRng::seed_from_u64(0);
+    for &n in &[32usize, 128, 256] {
+        let a = Init::Gaussian { std: 1.0 }.sample(n, n, &mut rng);
+        let b = Init::Gaussian { std: 1.0 }.sample(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tower(c: &mut Criterion) {
+    // The Foursquare tower (128 -> 64 -> 32 -> 16 -> 1) on a paper-sized
+    // batch of 128 positives x (1 + 4 negatives) = 640 rows.
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let tower = Mlp::new(
+        &mut store,
+        "tower",
+        &[128, 64, 32, 16, 1],
+        Activation::Relu,
+        0.0,
+        &mut rng,
+    );
+    let x = Init::Gaussian { std: 0.5 }.sample(640, 128, &mut rng);
+    let targets = Matrix::from_vec(640, 1, (0..640).map(|i| (i % 5 == 0) as u8 as f32).collect());
+
+    let mut group = c.benchmark_group("interaction_tower");
+    group.bench_function("forward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(&store);
+            let xv = tape.input(x.clone());
+            let y = tower.forward(&mut tape, xv, false, &mut rng);
+            std::hint::black_box(tape.value(y).sum())
+        });
+    });
+    group.bench_function("forward_backward", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new(&store);
+            let xv = tape.input(x.clone());
+            let logits = tower.forward(&mut tape, xv, true, &mut rng);
+            let loss = tape.bce_with_logits(logits, targets.clone());
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            std::hint::black_box(grads.global_norm())
+        });
+    });
+    group.finish();
+}
+
+fn bench_mmd(c: &mut Criterion) {
+    // Quadratic vs linear estimator at growing batch sizes: quadratic
+    // scales ~n^2, linear ~n (the Sec. 3.2 complexity argument).
+    let mut rng = SmallRng::seed_from_u64(2);
+    let store = ParamStore::new();
+    let mut group = c.benchmark_group("mmd");
+    for &n in &[32usize, 128, 512] {
+        let src = Init::Gaussian { std: 1.0 }.sample(n, 64, &mut rng);
+        let tgt = Init::Gaussian { std: 1.0 }.sample(n, 64, &mut rng);
+        for (label, est) in [
+            ("quadratic", MmdEstimator::Quadratic),
+            ("linear", MmdEstimator::Linear),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut tape = Tape::new(&store);
+                        let a = tape.input(src.clone());
+                        let t = tape.input(tgt.clone());
+                        let loss = mmd_loss(&mut tape, a, t, 1.0, est);
+                        std::hint::black_box(tape.value(loss).item())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_tower, bench_mmd
+}
+criterion_main!(kernels);

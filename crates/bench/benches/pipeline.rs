@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the pipeline stages: Algorithm 1 region
+//! segmentation, resampler construction and sampling, skipgram batching,
+//! one full joint training step, and top-k inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, PoiId, TextualContextGraph};
+use st_eval::Scorer;
+use st_transrec_core::{CityResampler, ModelConfig, STTransRec};
+
+fn setup() -> (st_data::Dataset, CrossingCitySplit) {
+    let cfg = SynthConfig::yelp_like().with_scale(0.02);
+    let (d, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+    (d, split)
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let (d, split) = setup();
+    c.bench_function("resampler_build_algorithm1", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            std::hint::black_box(CityResampler::build(
+                &d,
+                &split.train,
+                CityId(0),
+                30,
+                0.10,
+                0.10,
+                &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_resampling(c: &mut Criterion) {
+    let (d, split) = setup();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let resampler =
+        CityResampler::build(&d, &split.train, CityId(0), 30, 0.10, 0.10, &mut rng);
+    c.bench_function("resample_batch_256", |b| {
+        b.iter(|| std::hint::black_box(resampler.sample_batch(256, &mut rng)));
+    });
+}
+
+fn bench_skipgram_sampling(c: &mut Criterion) {
+    let (d, _) = setup();
+    let pois: Vec<PoiId> = d.pois().iter().map(|p| p.id).collect();
+    let graph = TextualContextGraph::build(&d, &pois, 0.75);
+    let mut rng = SmallRng::seed_from_u64(2);
+    c.bench_function("skipgram_sample_batch_128x4", |b| {
+        b.iter(|| std::hint::black_box(graph.sample_batch(128, 4, &mut rng)));
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (d, split) = setup();
+    let mut model = STTransRec::new(&d, &split, ModelConfig::test_small());
+    c.bench_function("sttransrec_train_step", |b| {
+        b.iter(|| std::hint::black_box(model.train_step(&d)));
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (d, split) = setup();
+    let mut model = STTransRec::new(&d, &split, ModelConfig::test_small());
+    model.train_epoch(&d);
+    let user = split.test_users[0];
+    let pois = d.pois_in_city(split.target_city);
+    c.bench_function("score_all_target_pois", |b| {
+        b.iter(|| std::hint::black_box(model.score_batch(user, pois)));
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_segmentation, bench_resampling, bench_skipgram_sampling,
+              bench_train_step, bench_inference
+}
+criterion_main!(pipeline);

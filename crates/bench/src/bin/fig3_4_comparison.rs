@@ -1,0 +1,36 @@
+//! Regenerates Figs. 3-4: the nine-method comparison.
+//!
+//! Usage: `fig3_4_comparison [foursquare|yelp]` (default: both).
+
+use st_bench::experiments::comparison;
+use st_bench::{load, render_metric_table, DatasetKind};
+use st_baselines::Budget;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let kinds: Vec<DatasetKind> = match arg.as_deref().and_then(DatasetKind::parse) {
+        Some(k) => vec![k],
+        None => vec![DatasetKind::Foursquare, DatasetKind::Yelp],
+    };
+    for kind in kinds {
+        let loaded = load(kind);
+        let results = comparison::run(&loaded, Budget::Full);
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (r.method.clone(), r.report.clone()))
+            .collect();
+        let fig = match kind {
+            DatasetKind::Foursquare => "Fig. 3 (Foursquare)",
+            DatasetKind::Yelp => "Fig. 4 (Yelp)",
+        };
+        println!("{}", render_metric_table(fig, &rows, &[2, 4, 6, 8, 10]));
+        println!("ST-TransRec Recall@10 improvements over:");
+        for (m, imp) in comparison::recall10_improvements(&results) {
+            println!("  {m:>10}: {imp:+.1}%");
+        }
+        println!();
+        let name = format!("fig3_4_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figs. 5-6: the variant ablation study.
+//!
+//! Usage: `fig5_6_ablation [foursquare|yelp]` (default: both).
+
+use st_bench::experiments::ablation;
+use st_bench::{load, render_metric_table, DatasetKind};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let kinds: Vec<DatasetKind> = match arg.as_deref().and_then(DatasetKind::parse) {
+        Some(k) => vec![k],
+        None => vec![DatasetKind::Foursquare, DatasetKind::Yelp],
+    };
+    for kind in kinds {
+        let loaded = load(kind);
+        let results = ablation::run(&loaded);
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (r.variant.clone(), r.report.clone()))
+            .collect();
+        let fig = match kind {
+            DatasetKind::Foursquare => "Fig. 5 (Foursquare ablation)",
+            DatasetKind::Yelp => "Fig. 6 (Yelp ablation)",
+        };
+        println!("{}", render_metric_table(fig, &rows, &[2, 4, 6, 8, 10]));
+        println!("Full-model NDCG@10 improvements over:");
+        for (v, imp) in ablation::ndcg10_improvements(&results) {
+            println!("  {v}: {imp:+.2}%");
+        }
+        println!();
+        let name = format!("fig5_6_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figs. 7-8: metric sweep over resampling rate alpha.
+//!
+//! Usage: `fig7_8_resample_rate [foursquare|yelp]` (default: both).
+
+use st_bench::experiments::resample_rate;
+use st_bench::{load, render_metric_table, DatasetKind};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let kinds: Vec<DatasetKind> = match arg.as_deref().and_then(DatasetKind::parse) {
+        Some(k) => vec![k],
+        None => vec![DatasetKind::Foursquare, DatasetKind::Yelp],
+    };
+    for kind in kinds {
+        let loaded = load(kind);
+        let results = resample_rate::run(&loaded, &resample_rate::paper_grid());
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (format!("alpha={:.2}", r.alpha), r.report.clone()))
+            .collect();
+        let fig = match kind {
+            DatasetKind::Foursquare => "Fig. 7 (Foursquare, resample rate)",
+            DatasetKind::Yelp => "Fig. 8 (Yelp, resample rate)",
+        };
+        println!("{}", render_metric_table(fig, &rows, &[2, 6, 10]));
+        let name = format!("fig7_8_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

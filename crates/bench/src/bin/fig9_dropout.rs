@@ -1,0 +1,27 @@
+//! Regenerates Fig. 9: metric@10 sweep over the dropout rate on both
+//! datasets.
+
+use st_bench::experiments::dropout;
+use st_bench::{load, render_metric_table, DatasetKind};
+
+fn main() {
+    for kind in [DatasetKind::Foursquare, DatasetKind::Yelp] {
+        let loaded = load(kind);
+        let results = dropout::run(&loaded, &dropout::paper_grid());
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (format!("rho={:.1}", r.dropout), r.report.clone()))
+            .collect();
+        println!(
+            "{}",
+            render_metric_table(
+                &format!("Fig. 9 ({}, dropout)", kind.name()),
+                &rows,
+                &[10]
+            )
+        );
+        let name = format!("fig9_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 1: dataset statistics vs the paper's numbers.
+//!
+//! Default scale is 1.0 here (statistics are cheap to generate and the
+//! generator is calibrated to the paper at full scale); `ST_SCALE`
+//! overrides.
+
+use st_bench::experiments::table1;
+
+fn main() {
+    let scale = std::env::var("ST_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let rows = table1::run(scale);
+    println!("{}", table1::render(&rows, scale));
+    let path = st_bench::save_json("table1_stats", &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 2: per-epoch training time, 1 vs 2 workers.
+
+use st_bench::experiments::table2;
+use st_bench::{load, render_rows, DatasetKind};
+
+fn main() {
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Foursquare, DatasetKind::Yelp] {
+        let loaded = load(kind);
+        rows.push(table2::run(&loaded, 2));
+    }
+    let rendered: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.dataset.clone(),
+                vec![r.single_worker_s, r.two_worker_s, r.speedup()],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        render_rows(
+            "Table 2: Training Time per Epoch (seconds)",
+            &["1-worker", "2-worker", "speedup"],
+            &rendered
+        )
+    );
+    println!(
+        "(paper, on 2x RTX 2080 Ti: Foursquare 94.29s -> 50.74s, Yelp 275.44s -> 153.73s; the shape to match is the ~1.8-1.9x speedup)"
+    );
+    let path = st_bench::save_json("table2_parallel", &rows).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 3: the word-level case study (full model vs the
+//! no-text ablation) on the Foursquare-like dataset.
+
+use st_bench::experiments::case_study;
+use st_bench::{load, DatasetKind};
+
+fn main() {
+    let loaded = load(DatasetKind::Foursquare);
+    let t = case_study::run(&loaded);
+    println!("{}", case_study::render(&t));
+    let path = st_bench::save_json("table3_case_study", &t).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

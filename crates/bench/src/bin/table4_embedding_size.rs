@@ -1,0 +1,26 @@
+//! Regenerates Table 4: performance vs embedding size {16, 32, 64, 128}.
+
+use st_bench::experiments::embedding_size;
+use st_bench::{load, render_metric_table, DatasetKind};
+
+fn main() {
+    for kind in [DatasetKind::Foursquare, DatasetKind::Yelp] {
+        let loaded = load(kind);
+        let results = embedding_size::run(&loaded, &embedding_size::paper_grid());
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (format!("dim={}", r.dim), r.report.clone()))
+            .collect();
+        println!(
+            "{}",
+            render_metric_table(
+                &format!("Table 4 ({}, embedding size)", kind.name()),
+                &rows,
+                &[2, 4]
+            )
+        );
+        let name = format!("table4_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 5: performance vs interaction-tower depth {1..4}.
+
+use st_bench::experiments::depth;
+use st_bench::{load, render_metric_table, DatasetKind};
+
+fn main() {
+    for kind in [DatasetKind::Foursquare, DatasetKind::Yelp] {
+        let loaded = load(kind);
+        let results = depth::run(&loaded, &depth::paper_grid());
+        let rows: Vec<(String, st_eval::MetricReport)> = results
+            .iter()
+            .map(|r| (format!("layers={}", r.depth), r.report.clone()))
+            .collect();
+        println!(
+            "{}",
+            render_metric_table(
+                &format!("Table 5 ({}, tower depth)", kind.name()),
+                &rows,
+                &[2, 4]
+            )
+        );
+        let name = format!("table5_{}", kind.name().to_lowercase());
+        let path = st_bench::save_json(&name, &results).expect("write results");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,21 @@
+//! # st-bench
+//!
+//! The experiment harness: one module per table/figure of the paper,
+//! shared dataset loading, ASCII rendering in the paper's layout, and
+//! JSON dumps under `results/` so EXPERIMENTS.md numbers are
+//! regenerable and diffable.
+//!
+//! Every binary honours two environment variables:
+//!
+//! - `ST_SCALE` — dataset scale factor in `(0, 1]` (default 0.15). 1.0
+//!   reproduces Table 1's sizes; smaller values keep CI runs fast.
+//! - `ST_EPOCHS` — training epochs for the neural models (default 4).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{dataset_config, eval_config, load, neural_config, DatasetKind, Loaded};
+pub use table::{render_metric_table, render_rows, save_json};

@@ -1,0 +1,140 @@
+//! Shared experiment plumbing: dataset loading, per-dataset model
+//! configuration, and the environment knobs (`ST_SCALE`, `ST_EPOCHS`).
+
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, Dataset};
+use st_eval::EvalConfig;
+use st_transrec_core::ModelConfig;
+
+/// The two evaluation datasets of Sec. 4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Foursquare-like: Los Angeles target, four source cities.
+    Foursquare,
+    /// Yelp-like: Phoenix source, Las Vegas target.
+    Yelp,
+}
+
+impl DatasetKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Foursquare => "Foursquare",
+            DatasetKind::Yelp => "Yelp",
+        }
+    }
+
+    /// Parses a CLI argument ("foursquare" / "yelp", case-insensitive).
+    pub fn parse(arg: &str) -> Option<Self> {
+        match arg.to_ascii_lowercase().as_str() {
+            "foursquare" | "fsq" => Some(DatasetKind::Foursquare),
+            "yelp" => Some(DatasetKind::Yelp),
+            _ => None,
+        }
+    }
+}
+
+/// The dataset scale factor from `ST_SCALE` (default 0.15).
+pub fn scale() -> f64 {
+    std::env::var("ST_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(0.15)
+}
+
+/// Training epochs from `ST_EPOCHS` (default 4).
+pub fn epochs() -> usize {
+    std::env::var("ST_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&e| e >= 1)
+        .unwrap_or(4)
+}
+
+/// The synthetic config for a dataset at a given scale.
+pub fn dataset_config(kind: DatasetKind, scale: f64) -> SynthConfig {
+    let base = match kind {
+        DatasetKind::Foursquare => SynthConfig::foursquare_like(),
+        DatasetKind::Yelp => SynthConfig::yelp_like(),
+    };
+    if (scale - 1.0).abs() < 1e-12 {
+        base
+    } else {
+        base.with_scale(scale)
+    }
+}
+
+/// The paper's per-dataset neural hyperparameters (Sec. 4.1), with the
+/// epoch budget from the environment.
+pub fn neural_config(kind: DatasetKind) -> ModelConfig {
+    let mut cfg = match kind {
+        DatasetKind::Foursquare => ModelConfig::foursquare(),
+        DatasetKind::Yelp => ModelConfig::yelp(),
+    };
+    cfg.epochs = epochs();
+    cfg
+}
+
+/// The shared evaluation protocol (100 negatives, k in {2,...,10}, fixed
+/// seed so candidate sets are identical across methods).
+pub fn eval_config() -> EvalConfig {
+    EvalConfig::default()
+}
+
+/// A loaded experiment environment.
+pub struct Loaded {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// Crossing-city train/test split.
+    pub split: CrossingCitySplit,
+    /// The paper's model config for this dataset.
+    pub model_config: ModelConfig,
+}
+
+/// Generates the dataset at `ST_SCALE` and builds the split.
+pub fn load(kind: DatasetKind) -> Loaded {
+    load_at(kind, scale())
+}
+
+/// Generates at an explicit scale (Table 1 uses 1.0).
+pub fn load_at(kind: DatasetKind, scale: f64) -> Loaded {
+    let cfg = dataset_config(kind, scale);
+    let (dataset, _) = generate(&cfg);
+    let target = CityId(cfg.target_city as u16);
+    let split = CrossingCitySplit::build(&dataset, target);
+    Loaded {
+        kind,
+        dataset,
+        split,
+        model_config: neural_config(kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_kind() {
+        assert_eq!(DatasetKind::parse("yelp"), Some(DatasetKind::Yelp));
+        assert_eq!(DatasetKind::parse("FOURSQUARE"), Some(DatasetKind::Foursquare));
+        assert_eq!(DatasetKind::parse("netflix"), None);
+    }
+
+    #[test]
+    fn load_small_scale_builds_split() {
+        let loaded = load_at(DatasetKind::Yelp, 0.01);
+        assert!(loaded.split.test_users.len() >= 5);
+        assert_eq!(loaded.model_config.embedding_dim, 128);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Do not set the vars; defaults must hold.
+        assert!(scale() > 0.0 && scale() <= 1.0);
+        assert!(epochs() >= 1);
+    }
+}

@@ -1,0 +1,644 @@
+//! ST-TransRec: the unified model of Fig. 1b.
+//!
+//! One [`st_tensor::ParamStore`] holds the user, POI and word embedding
+//! tables plus the interaction MLP. Each training step assembles the
+//! joint objective of Eq. 3 on a single tape:
+//!
+//! ```text
+//! L = L_I^s + L_Gvw^s + L_I^t + L_Gvw^t + lambda * D(P, Q)
+//! ```
+//!
+//! with the MMD term fed by density-resampled POI batches (Sec. 3.1.4-5)
+//! and each ablation variant dropping its corresponding term.
+
+use crate::interaction::InteractionSampler;
+use crate::mmd::mmd_loss;
+use crate::resample::{CityResampler, MultiCityResampler};
+use crate::skipgram::skipgram_loss;
+use crate::{ModelConfig, Variant};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_data::{CityId, CrossingCitySplit, Dataset, PoiId, TextualContextGraph, UserId};
+use st_eval::Scorer;
+use st_tensor::{
+    Activation, Adam, Embedding, Gradients, Mlp, Optimizer, ParamStore, Tape,
+};
+
+/// Loss values of one training step (zero for disabled terms).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepLosses {
+    /// `L_I^s`: source-side interaction loss.
+    pub interaction_source: f32,
+    /// `L_I^t`: target-side interaction loss.
+    pub interaction_target: f32,
+    /// `L_Gvw^s`: source-side context-prediction loss.
+    pub context_source: f32,
+    /// `L_Gvw^t`: target-side context-prediction loss.
+    pub context_target: f32,
+    /// `D(P, Q)`: the (unweighted) MMD value.
+    pub mmd: f32,
+}
+
+impl StepLosses {
+    /// The weighted total of Eq. 3.
+    pub fn total(&self, lambda: f32) -> f32 {
+        self.interaction_source
+            + self.interaction_target
+            + self.context_source
+            + self.context_target
+            + lambda * self.mmd
+    }
+}
+
+/// Per-epoch averaged losses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch number, starting at 0.
+    pub epoch: usize,
+    /// Mean step losses.
+    pub losses: StepLosses,
+    /// Steps taken.
+    pub steps: usize,
+}
+
+/// The trained model.
+pub struct STTransRec {
+    config: ModelConfig,
+    target_city: CityId,
+    store: ParamStore,
+    user_emb: Embedding,
+    poi_emb: Embedding,
+    word_emb: Embedding,
+    tower: Mlp,
+    source_graph: Option<TextualContextGraph>,
+    target_graph: Option<TextualContextGraph>,
+    source_sampler: InteractionSampler,
+    target_sampler: InteractionSampler,
+    source_resampler: Option<MultiCityResampler>,
+    target_resampler: Option<CityResampler>,
+    optimizer: Adam,
+    rng: SmallRng,
+    steps_per_epoch: usize,
+    history: Vec<EpochStats>,
+}
+
+impl STTransRec {
+    /// Builds the model over a training split.
+    ///
+    /// All data-dependent structures — context graphs per side,
+    /// interaction samplers per side, Algorithm 1 segmentations and the
+    /// density resamplers — are derived from `split.train` only.
+    pub fn new(dataset: &Dataset, split: &CrossingCitySplit, config: ModelConfig) -> Self {
+        config.validate();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let target_city = split.target_city;
+        let source_cities: Vec<CityId> = dataset
+            .cities()
+            .iter()
+            .map(|c| c.id)
+            .filter(|&c| c != target_city)
+            .collect();
+        assert!(!source_cities.is_empty(), "need at least one source city");
+
+        // Parameters.
+        let mut store = ParamStore::new();
+        let dim = config.embedding_dim;
+        let user_emb = Embedding::new(&mut store, "user_emb", dataset.num_users(), dim, &mut rng);
+        let poi_emb = Embedding::new(&mut store, "poi_emb", dataset.num_pois(), dim, &mut rng);
+        let word_emb = Embedding::new(
+            &mut store,
+            "word_emb",
+            dataset.vocab().len().max(1),
+            dim,
+            &mut rng,
+        );
+        let tower = Mlp::new(
+            &mut store,
+            "tower",
+            &config.tower_widths(),
+            Activation::Relu,
+            config.dropout,
+            &mut rng,
+        );
+
+        // Context graphs per side (Def. 2), when the text loss is active.
+        let (source_graph, target_graph) = if config.use_text() {
+            let src_pois: Vec<PoiId> = source_cities
+                .iter()
+                .flat_map(|&c| dataset.pois_in_city(c).iter().copied())
+                .collect();
+            let tgt_pois = dataset.pois_in_city(target_city).to_vec();
+            (
+                Some(TextualContextGraph::build(
+                    dataset,
+                    &src_pois,
+                    config.unigram_power,
+                )),
+                Some(TextualContextGraph::build(
+                    dataset,
+                    &tgt_pois,
+                    config.unigram_power,
+                )),
+            )
+        } else {
+            (None, None)
+        };
+
+        // Interaction samplers per side.
+        let source_sampler = InteractionSampler::new(dataset, &split.train, &source_cities);
+        let target_sampler = InteractionSampler::new(dataset, &split.train, &[target_city]);
+
+        // Density resamplers feeding the MMD layer.
+        let (source_resampler, target_resampler) = if config.use_mmd() {
+            let per_city: Vec<CityResampler> = source_cities
+                .iter()
+                .map(|&c| {
+                    CityResampler::build(
+                        dataset,
+                        &split.train,
+                        c,
+                        config.grid_n,
+                        config.delta,
+                        config.alpha,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            let tgt = CityResampler::build(
+                dataset,
+                &split.train,
+                target_city,
+                config.grid_n,
+                config.delta,
+                config.alpha,
+                &mut rng,
+            );
+            (
+                Some(MultiCityResampler::new(per_city)),
+                tgt.is_usable().then_some(tgt),
+            )
+        } else {
+            (None, None)
+        };
+
+        let steps_per_epoch = (split.train.len() / config.batch_size).max(1);
+        let optimizer = Adam::new(config.learning_rate).with_weight_decay(config.weight_decay);
+
+        Self {
+            config,
+            target_city,
+            store,
+            user_emb,
+            poi_emb,
+            word_emb,
+            tower,
+            source_graph,
+            target_graph,
+            source_sampler,
+            target_sampler,
+            source_resampler,
+            target_resampler,
+            optimizer,
+            rng,
+            steps_per_epoch,
+            history: Vec::new(),
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The held-out city.
+    pub fn target_city(&self) -> CityId {
+        self.target_city
+    }
+
+    /// The parameter store (read access, e.g. for embedding inspection).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Number of optimizer steps per epoch.
+    pub fn steps_per_epoch(&self) -> usize {
+        self.steps_per_epoch
+    }
+
+    /// Per-epoch training history so far.
+    pub fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
+
+    /// The embedding vector of a POI (current parameters).
+    pub fn poi_embedding(&self, poi: PoiId) -> &[f32] {
+        self.store.get(self.poi_emb.table()).row(poi.idx())
+    }
+
+    /// The embedding vector of a user (current parameters).
+    pub fn user_embedding(&self, user: UserId) -> &[f32] {
+        self.store.get(self.user_emb.table()).row(user.idx())
+    }
+
+    /// Computes gradients for one joint step into `grads`, returning the
+    /// loss values. Uses the supplied RNG (the parallel trainer gives each
+    /// worker its own stream). Does NOT apply the optimizer.
+    pub fn accumulate_step(
+        &self,
+        dataset: &Dataset,
+        grads: &mut Gradients,
+        rng: &mut SmallRng,
+    ) -> StepLosses {
+        let cfg = &self.config;
+        let mut losses = StepLosses::default();
+        let mut tape = Tape::new(&self.store);
+        let mut roots: Vec<(st_tensor::Var, f32)> = Vec::with_capacity(5);
+
+        // L_I^s and L_I^t.
+        for (sampler, slot) in [
+            (&self.source_sampler, 0usize),
+            (&self.target_sampler, 1usize),
+        ] {
+            if sampler.is_empty() {
+                continue;
+            }
+            let batch = sampler.sample_batch(dataset, cfg.batch_size, cfg.negatives, rng);
+            let loss = self.interaction_loss(&mut tape, &batch, true, rng);
+            let v = tape.value(loss).item();
+            if slot == 0 {
+                losses.interaction_source = v;
+            } else {
+                losses.interaction_target = v;
+            }
+            roots.push((loss, 1.0));
+        }
+
+        // L_Gvw^s and L_Gvw^t.
+        if cfg.use_text() {
+            for (graph, slot) in [(&self.source_graph, 0usize), (&self.target_graph, 1usize)] {
+                let Some(graph) = graph else { continue };
+                let batch = graph.sample_batch(cfg.context_batch, cfg.context_negatives, rng);
+                let loss = skipgram_loss(
+                    &mut tape,
+                    self.poi_emb.table(),
+                    self.word_emb.table(),
+                    graph,
+                    &batch,
+                );
+                let v = tape.value(loss).item();
+                if slot == 0 {
+                    losses.context_source = v;
+                } else {
+                    losses.context_target = v;
+                }
+                roots.push((loss, 1.0));
+            }
+        }
+
+        // lambda * D(P, Q) over resampled POI embedding batches.
+        if cfg.use_mmd() {
+            if let (Some(src), Some(tgt)) = (&self.source_resampler, &self.target_resampler) {
+                let src_pois: Vec<usize> = src
+                    .sample_batch(cfg.mmd_batch, rng)
+                    .into_iter()
+                    .map(PoiId::idx)
+                    .collect();
+                let tgt_pois: Vec<usize> = tgt
+                    .sample_batch(cfg.mmd_batch, rng)
+                    .into_iter()
+                    .map(PoiId::idx)
+                    .collect();
+                let se = tape.gather_param(self.poi_emb.table(), &src_pois);
+                let te = tape.gather_param(self.poi_emb.table(), &tgt_pois);
+                let loss = mmd_loss(&mut tape, se, te, cfg.mmd_sigma, cfg.mmd_estimator);
+                losses.mmd = tape.value(loss).item();
+                roots.push((loss, cfg.lambda));
+            }
+        }
+
+        for (root, weight) in roots {
+            tape.backward_scaled(root, weight, grads);
+        }
+        losses
+    }
+
+    /// One optimizer step over the joint objective.
+    pub fn train_step(&mut self, dataset: &Dataset) -> StepLosses {
+        let mut grads = Gradients::zeros_like(&self.store);
+        // Borrow juggling: accumulate_step needs &self while rng needs &mut.
+        let mut rng = SmallRng::seed_from_u64(self.rng.gen());
+        let losses = self.accumulate_step(dataset, &mut grads, &mut rng);
+        self.apply(&grads);
+        losses
+    }
+
+    /// Applies externally computed gradients (used by the parallel trainer).
+    pub fn apply(&mut self, grads: &Gradients) {
+        self.optimizer.step(&mut self.store, grads);
+        debug_assert!(!self.store.has_non_finite(), "parameters diverged");
+    }
+
+    /// One epoch: [`STTransRec::steps_per_epoch`] joint steps.
+    pub fn train_epoch(&mut self, dataset: &Dataset) -> EpochStats {
+        let mut sum = StepLosses::default();
+        let steps = self.steps_per_epoch;
+        for _ in 0..steps {
+            let l = self.train_step(dataset);
+            sum.interaction_source += l.interaction_source;
+            sum.interaction_target += l.interaction_target;
+            sum.context_source += l.context_source;
+            sum.context_target += l.context_target;
+            sum.mmd += l.mmd;
+        }
+        let n = steps as f32;
+        let stats = EpochStats {
+            epoch: self.history.len(),
+            losses: StepLosses {
+                interaction_source: sum.interaction_source / n,
+                interaction_target: sum.interaction_target / n,
+                context_source: sum.context_source / n,
+                context_target: sum.context_target / n,
+                mmd: sum.mmd / n,
+            },
+            steps,
+        };
+        self.history.push(stats.clone());
+        stats
+    }
+
+    /// Trains for `config.epochs` epochs, returning the history.
+    pub fn fit(&mut self, dataset: &Dataset) -> Vec<EpochStats> {
+        for _ in 0..self.config.epochs {
+            self.train_epoch(dataset);
+        }
+        self.history.clone()
+    }
+
+    /// Builds the interaction tower loss for a batch on `tape`.
+    fn interaction_loss(
+        &self,
+        tape: &mut Tape<'_>,
+        batch: &crate::interaction::InteractionBatch,
+        train: bool,
+        rng: &mut SmallRng,
+    ) -> st_tensor::Var {
+        let users = tape.gather_param(self.user_emb.table(), &batch.users);
+        let pois = tape.gather_param(self.poi_emb.table(), &batch.pois);
+        let mut x = tape.concat_cols(users, pois);
+        // Paper: dropout on the embedding layer and each hidden layer.
+        if train && self.config.dropout > 0.0 {
+            x = tape.dropout(x, self.config.dropout, rng);
+        }
+        let logits = self.tower.forward(tape, x, train, rng);
+        let n = batch.labels.len();
+        tape.bce_with_logits(logits, st_tensor::Matrix::from_vec(n, 1, batch.labels.clone()))
+    }
+
+    /// Predicted interaction probabilities for `(user, poi)` pairs given
+    /// as parallel index slices — Eq. 12's `sigma(W^T e_L)` at inference.
+    pub fn predict(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
+        let mut tape = Tape::new(&self.store);
+        let u = tape.gather_param(self.user_emb.table(), users);
+        let p = tape.gather_param(self.poi_emb.table(), pois);
+        let x = tape.concat_cols(u, p);
+        // Inference: no dropout; the RNG is never consulted.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let logits = self.tower.forward(&mut tape, x, false, &mut rng);
+        let probs = tape.sigmoid(logits);
+        tape.value(probs).as_slice().to_vec()
+    }
+
+    /// Convenience accessor for the ablation variant in use.
+    pub fn variant(&self) -> Variant {
+        self.config.variant
+    }
+
+    /// Saves all trained parameters (embedding tables + tower weights) to
+    /// a writer in the `st-tensor` checkpoint format.
+    pub fn save<W: std::io::Write>(&self, out: W) -> std::io::Result<()> {
+        st_tensor::save_params(&self.store, out)
+    }
+
+    /// Restores parameters from a checkpoint written by [`STTransRec::save`].
+    ///
+    /// The checkpoint must come from a model with the same architecture
+    /// (same dataset sizes and config); mismatches are rejected.
+    pub fn restore<R: std::io::Read>(
+        &mut self,
+        input: R,
+    ) -> Result<(), st_tensor::CheckpointError> {
+        let loaded = st_tensor::load_params(input)?;
+        if loaded.len() != self.store.len() {
+            return Err(st_tensor::CheckpointError::Corrupt(format!(
+                "parameter count mismatch: checkpoint {} vs model {}",
+                loaded.len(),
+                self.store.len()
+            )));
+        }
+        for ((_, name, value), (_, l_name, l_value)) in self.store.iter().zip(loaded.iter()) {
+            if name != l_name || value.shape() != l_value.shape() {
+                return Err(st_tensor::CheckpointError::Corrupt(format!(
+                    "parameter '{name}' {:?} does not match checkpoint '{l_name}' {:?}",
+                    value.shape(),
+                    l_value.shape()
+                )));
+            }
+        }
+        // Shapes verified; copy values in.
+        let values: Vec<st_tensor::Matrix> =
+            loaded.iter().map(|(_, _, v)| v.clone()).collect();
+        let ids: Vec<_> = self.store.ids().collect();
+        for (id, value) in ids.into_iter().zip(values) {
+            *self.store.get_mut(id) = value;
+        }
+        Ok(())
+    }
+}
+
+impl Scorer for STTransRec {
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+        let users = vec![user.idx(); pois.len()];
+        let poi_rows: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
+        self.predict(&users, &poi_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, SynthConfig};
+
+    fn setup() -> (Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (d, split)
+    }
+
+    #[test]
+    fn builds_with_all_components() {
+        let (d, split) = setup();
+        let m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        assert!(m.source_graph.is_some());
+        assert!(m.target_graph.is_some());
+        assert!(m.source_resampler.is_some());
+        assert!(m.steps_per_epoch() >= 1);
+        assert_eq!(m.poi_embedding(PoiId(0)).len(), 16);
+        assert_eq!(m.user_embedding(UserId(0)).len(), 16);
+    }
+
+    #[test]
+    fn variants_disable_their_components() {
+        let (d, split) = setup();
+        let m1 = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_variant(Variant::NoMmd),
+        );
+        assert!(m1.source_resampler.is_none());
+        assert!(m1.source_graph.is_some());
+
+        let m2 = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_variant(Variant::NoText),
+        );
+        assert!(m2.source_graph.is_none());
+        assert!(m2.source_resampler.is_some());
+
+        let m3 = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_variant(Variant::NoResample),
+        );
+        assert_eq!(m3.config().alpha, 0.0);
+    }
+
+    #[test]
+    fn single_step_produces_all_loss_terms() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let l = m.train_step(&d);
+        assert!(l.interaction_source > 0.0 && l.interaction_source.is_finite());
+        assert!(l.interaction_target > 0.0);
+        assert!(l.context_source > 0.0);
+        assert!(l.context_target > 0.0);
+        assert!(l.mmd.is_finite());
+        assert!(l.total(1.0).is_finite());
+    }
+
+    #[test]
+    fn variant_steps_zero_their_terms() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_variant(Variant::NoText),
+        );
+        let l = m.train_step(&d);
+        assert_eq!(l.context_source, 0.0);
+        assert_eq!(l.context_target, 0.0);
+        assert!(l.interaction_source > 0.0);
+
+        let mut m = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_variant(Variant::NoMmd),
+        );
+        let l = m.train_step(&d);
+        assert_eq!(l.mmd, 0.0);
+    }
+
+    #[test]
+    fn training_reduces_interaction_loss() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let history = m.fit(&d);
+        assert_eq!(history.len(), 3);
+        let first = history.first().unwrap().losses;
+        let last = history.last().unwrap().losses;
+        let f = first.interaction_source + first.interaction_target;
+        let l = last.interaction_source + last.interaction_target;
+        assert!(l < f, "interaction loss did not drop: {f} -> {l}");
+        assert!(!m.params().has_non_finite());
+    }
+
+    #[test]
+    fn training_reduces_mmd() {
+        let (d, split) = setup();
+        let mut cfg = ModelConfig::test_small();
+        cfg.lambda = 2.0;
+        cfg.epochs = 4;
+        let mut m = STTransRec::new(&d, &split, cfg);
+        let history = m.fit(&d);
+        let first = history.first().unwrap().losses.mmd;
+        let last = history.last().unwrap().losses.mmd;
+        assert!(
+            last < first + 0.02,
+            "MMD should not grow under the transfer loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn scorer_outputs_probabilities() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let pois = d.pois_in_city(split.target_city);
+        let scores = m.score_batch(UserId(0), pois);
+        assert_eq!(scores.len(), pois.len());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let pois = d.pois_in_city(split.target_city);
+        let a = m.score_batch(UserId(3), pois);
+        let b = m.score_batch(UserId(3), pois);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_restore_roundtrips_scores() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let pois = d.pois_in_city(split.target_city);
+        let before = m.score_batch(UserId(1), pois);
+
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        // Wreck the weights, then restore.
+        let mut wrecked = STTransRec::new(&d, &split, ModelConfig::test_small());
+        wrecked.restore(buf.as_slice()).unwrap();
+        assert_eq!(wrecked.score_batch(UserId(1), pois), before);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture() {
+        let (d, split) = setup();
+        let m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let mut buf = Vec::new();
+        m.save(&mut buf).unwrap();
+        let mut other = STTransRec::new(
+            &d,
+            &split,
+            ModelConfig::test_small().with_embedding_dim(8),
+        );
+        assert!(other.restore(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn seeded_models_reproduce_exactly() {
+        let (d, split) = setup();
+        let mut a = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let mut b = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let la = a.train_step(&d);
+        let lb = b.train_step(&d);
+        assert_eq!(la, lb);
+    }
+}

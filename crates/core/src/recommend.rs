@@ -1,0 +1,225 @@
+//! Top-k recommendation and the explainability views of Table 3.
+//!
+//! [`recommend_top_k`] works over any [`Scorer`], so the same machinery
+//! serves ST-TransRec, its ablations and every baseline. The case-study
+//! helpers surface the word-level evidence the paper prints: a user's
+//! top profile words from their source-city check-ins, and each
+//! recommended POI's top descriptive words.
+
+use st_data::{Checkin, CityId, Dataset, PoiId, UserId, WordId};
+use st_eval::Scorer;
+use std::collections::HashMap;
+
+/// One ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The recommended POI.
+    pub poi: PoiId,
+    /// Its predicted score (higher = better).
+    pub score: f32,
+}
+
+/// Scores every POI of `city` for `user` (excluding `exclude`) and
+/// returns the top `k` by score, ties broken by POI id for determinism.
+pub fn recommend_top_k(
+    scorer: &dyn Scorer,
+    dataset: &Dataset,
+    user: UserId,
+    city: CityId,
+    k: usize,
+    exclude: &[PoiId],
+) -> Vec<Recommendation> {
+    assert!(k > 0, "k must be positive");
+    let candidates: Vec<PoiId> = dataset
+        .pois_in_city(city)
+        .iter()
+        .copied()
+        .filter(|p| !exclude.contains(p))
+        .collect();
+    let scores = scorer.score_batch(user, &candidates);
+    let mut ranked: Vec<Recommendation> = candidates
+        .into_iter()
+        .zip(scores)
+        .map(|(poi, score)| Recommendation { poi, score })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.poi.cmp(&b.poi))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// The user's top-n profile words: word frequencies aggregated over the
+/// POIs of their training check-ins (Table 3's "Training Data" column).
+pub fn user_profile_words(
+    dataset: &Dataset,
+    train: &[Checkin],
+    user: UserId,
+    n: usize,
+) -> Vec<String> {
+    let mut counts: HashMap<WordId, usize> = HashMap::new();
+    for c in train.iter().filter(|c| c.user == user) {
+        for &w in &dataset.poi(c.poi).words {
+            *counts.entry(w).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<(WordId, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+        .into_iter()
+        .take(n)
+        .map(|(w, _)| dataset.vocab().word(w).to_owned())
+        .collect()
+}
+
+/// A POI's first `n` descriptive words (Table 3's "Textual Descriptions").
+pub fn poi_top_words(dataset: &Dataset, poi: PoiId, n: usize) -> Vec<String> {
+    dataset
+        .poi(poi)
+        .words
+        .iter()
+        .take(n)
+        .map(|&w| dataset.vocab().word(w).to_owned())
+        .collect()
+}
+
+/// Everything Table 3 prints for one user under one model.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// The user studied.
+    pub user: UserId,
+    /// Top profile words from source-city training check-ins.
+    pub profile_words: Vec<String>,
+    /// Top-k recommendations with name, words, and ground-truth marks.
+    pub entries: Vec<CaseStudyEntry>,
+}
+
+/// One row of the case study.
+#[derive(Debug, Clone)]
+pub struct CaseStudyEntry {
+    /// The recommended POI.
+    pub poi: PoiId,
+    /// Its display name.
+    pub name: String,
+    /// Its top descriptive words.
+    pub words: Vec<String>,
+    /// Whether the POI is in the user's held-out ground truth.
+    pub is_ground_truth: bool,
+}
+
+/// Builds the case study for `user` under `scorer`.
+#[allow(clippy::too_many_arguments)] // mirrors Table 3's column structure
+pub fn case_study(
+    scorer: &dyn Scorer,
+    dataset: &Dataset,
+    train: &[Checkin],
+    user: UserId,
+    target: CityId,
+    ground_truth: &[PoiId],
+    k: usize,
+    words_per_poi: usize,
+) -> CaseStudy {
+    let recs = recommend_top_k(scorer, dataset, user, target, k, &[]);
+    let entries = recs
+        .into_iter()
+        .map(|r| CaseStudyEntry {
+            poi: r.poi,
+            name: dataset.poi(r.poi).name.clone(),
+            words: poi_top_words(dataset, r.poi, words_per_poi),
+            is_ground_truth: ground_truth.contains(&r.poi),
+        })
+        .collect();
+    CaseStudy {
+        user,
+        profile_words: user_profile_words(dataset, train, user, 10),
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::CrossingCitySplit;
+
+    /// Scorer preferring low POI ids.
+    struct ByIdDesc;
+    impl Scorer for ByIdDesc {
+        fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            pois.iter().map(|p| -(p.0 as f32)).collect()
+        }
+    }
+
+    fn setup() -> (Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (d, split)
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_excludes() {
+        let (d, split) = setup();
+        let city = split.target_city;
+        let first_poi = d.pois_in_city(city)[0];
+        let recs = recommend_top_k(&ByIdDesc, &d, UserId(0), city, 5, &[first_poi]);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| r.poi != first_poi));
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // All recommendations live in the target city.
+        assert!(recs.iter().all(|r| d.poi(r.poi).city == city));
+    }
+
+    #[test]
+    fn profile_words_reflect_training_checkins() {
+        let (d, split) = setup();
+        let user = split.test_users[0];
+        let words = user_profile_words(&d, &split.train, user, 10);
+        assert!(!words.is_empty());
+        // Every profile word must come from a POI the user visited.
+        let visited_words: Vec<String> = split
+            .train
+            .iter()
+            .filter(|c| c.user == user)
+            .flat_map(|c| d.poi(c.poi).words.iter())
+            .map(|&w| d.vocab().word(w).to_owned())
+            .collect();
+        for w in &words {
+            assert!(visited_words.contains(w), "{w} not in visited words");
+        }
+    }
+
+    #[test]
+    fn case_study_marks_ground_truth() {
+        let (d, split) = setup();
+        let user = split.test_users[0];
+        let truth = split.ground_truth_for(0);
+        struct Oracle<'a>(&'a [PoiId]);
+        impl Scorer for Oracle<'_> {
+            fn score_batch(&self, _u: UserId, pois: &[PoiId]) -> Vec<f32> {
+                pois.iter()
+                    .map(|p| if self.0.contains(p) { 1.0 } else { 0.0 })
+                    .collect()
+            }
+        }
+        let cs = case_study(
+            &Oracle(truth),
+            &d,
+            &split.train,
+            user,
+            split.target_city,
+            truth,
+            5,
+            5,
+        );
+        assert_eq!(cs.entries.len(), 5);
+        let marked = cs.entries.iter().filter(|e| e.is_ground_truth).count();
+        assert_eq!(marked, truth.len().min(5), "oracle surfaces all truth");
+        assert!(cs.entries.iter().all(|e| !e.name.is_empty()));
+    }
+}

@@ -1,0 +1,195 @@
+//! Synchronous data-parallel training (Table 2).
+//!
+//! The paper splits each training step across GPUs with data parallelism;
+//! here workers are OS threads (crossbeam scoped), each computing the
+//! joint gradients on its own mini-batches against the shared, read-only
+//! parameter snapshot. Gradients are averaged and applied once — exactly
+//! the synchronous multi-GPU semantics whose ~2x scaling Table 2 reports.
+
+use crate::model::{EpochStats, STTransRec, StepLosses};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_data::Dataset;
+use st_tensor::Gradients;
+use std::time::{Duration, Instant};
+
+/// Data-parallel trainer over `workers` threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelTrainer {
+    workers: usize,
+}
+
+impl ParallelTrainer {
+    /// Creates a trainer with the given worker count (1 = the sequential
+    /// baseline column of Table 2).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        Self { workers }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// One synchronous step: every worker computes a full joint-loss
+    /// gradient on its own batches; gradients are averaged and applied.
+    pub fn train_step(
+        &self,
+        model: &mut STTransRec,
+        dataset: &Dataset,
+        master_rng: &mut SmallRng,
+    ) -> StepLosses {
+        let seeds: Vec<u64> = (0..self.workers).map(|_| master_rng.gen()).collect();
+        let (merged, losses) = {
+            let shared: &STTransRec = model;
+            if self.workers == 1 {
+                let mut grads = Gradients::zeros_like(shared.params());
+                let mut rng = SmallRng::seed_from_u64(seeds[0]);
+                let losses = shared.accumulate_step(dataset, &mut grads, &mut rng);
+                (grads, vec![losses])
+            } else {
+                let results = crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = seeds
+                        .iter()
+                        .map(|&seed| {
+                            scope.spawn(move |_| {
+                                let mut grads = Gradients::zeros_like(shared.params());
+                                let mut rng = SmallRng::seed_from_u64(seed);
+                                let losses =
+                                    shared.accumulate_step(dataset, &mut grads, &mut rng);
+                                (grads, losses)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+                .expect("scope failed");
+                let mut iter = results.into_iter();
+                let (mut merged, first_losses) = iter.next().expect("at least one worker");
+                let mut losses = vec![first_losses];
+                for (g, l) in iter {
+                    merged.merge(&g);
+                    losses.push(l);
+                }
+                merged.scale(1.0 / self.workers as f32);
+                (merged, losses)
+            }
+        };
+        model.apply(&merged);
+        average_losses(&losses)
+    }
+
+    /// One epoch. With `w` workers, each step consumes `w` batches, so the
+    /// per-epoch step count shrinks by `w` — same data budget, less wall
+    /// clock, which is what Table 2 measures.
+    pub fn train_epoch(&self, model: &mut STTransRec, dataset: &Dataset) -> TimedEpoch {
+        let steps = (model.steps_per_epoch() / self.workers).max(1);
+        let mut master_rng = SmallRng::seed_from_u64(model.config().seed ^ 0x9E3779B97F4A7C15);
+        let start = Instant::now();
+        let mut sum = StepLosses::default();
+        for _ in 0..steps {
+            let l = self.train_step(model, dataset, &mut master_rng);
+            sum.interaction_source += l.interaction_source;
+            sum.interaction_target += l.interaction_target;
+            sum.context_source += l.context_source;
+            sum.context_target += l.context_target;
+            sum.mmd += l.mmd;
+        }
+        let wall = start.elapsed();
+        let n = steps as f32;
+        let stats = EpochStats {
+            epoch: model.history().len(),
+            losses: StepLosses {
+                interaction_source: sum.interaction_source / n,
+                interaction_target: sum.interaction_target / n,
+                context_source: sum.context_source / n,
+                context_target: sum.context_target / n,
+                mmd: sum.mmd / n,
+            },
+            steps,
+        };
+        TimedEpoch { stats, wall }
+    }
+}
+
+/// Epoch statistics plus wall-clock duration (Table 2's unit of report).
+#[derive(Debug, Clone)]
+pub struct TimedEpoch {
+    /// Averaged losses.
+    pub stats: EpochStats,
+    /// Wall-clock time of the epoch.
+    pub wall: Duration,
+}
+
+fn average_losses(losses: &[StepLosses]) -> StepLosses {
+    let n = losses.len() as f32;
+    let mut avg = StepLosses::default();
+    for l in losses {
+        avg.interaction_source += l.interaction_source / n;
+        avg.interaction_target += l.interaction_target / n;
+        avg.context_source += l.context_source / n;
+        avg.context_target += l.context_target / n;
+        avg.mmd += l.mmd / n;
+    }
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, STTransRec};
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::{CityId, CrossingCitySplit};
+
+    fn setup() -> (Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (d, split)
+    }
+
+    #[test]
+    fn parallel_step_trains_and_stays_finite() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let trainer = ParallelTrainer::new(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let l = trainer.train_step(&mut m, &d, &mut rng);
+        assert!(l.interaction_source.is_finite() && l.interaction_source > 0.0);
+        assert!(!m.params().has_non_finite());
+    }
+
+    #[test]
+    fn two_workers_halve_steps_per_epoch() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let e1 = ParallelTrainer::new(1).train_epoch(&mut m, &d);
+        let e2 = ParallelTrainer::new(2).train_epoch(&mut m, &d);
+        assert_eq!(e2.stats.steps, (e1.stats.steps / 2).max(1));
+    }
+
+    #[test]
+    fn parallel_training_converges_like_sequential() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let trainer = ParallelTrainer::new(2);
+        let first = trainer.train_epoch(&mut m, &d).stats.losses;
+        for _ in 0..2 {
+            trainer.train_epoch(&mut m, &d);
+        }
+        let last = trainer.train_epoch(&mut m, &d).stats.losses;
+        let f = first.interaction_source + first.interaction_target;
+        let l = last.interaction_source + last.interaction_target;
+        assert!(l < f, "parallel training did not reduce loss: {f} -> {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        ParallelTrainer::new(0);
+    }
+}

@@ -1,0 +1,173 @@
+//! The textual context graph `G_vw` (Def. 2): a bipartite graph whose
+//! nodes are POIs and words, with an edge for every word in a POI's
+//! textual description. The skipgram loss (Eq. 4) trains on positive
+//! `(poi, word)` edges plus sampled negatives.
+
+use crate::{Dataset, NegativeTable, PoiId, WordId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bipartite POI-word context graph restricted to one set of POIs
+/// (ST-TransRec builds one per city side: source and target).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextualContextGraph {
+    /// Member POIs (dense ids into the parent dataset).
+    pois: Vec<PoiId>,
+    /// Parallel to `pois`: that POI's word ids.
+    words_per_poi: Vec<Vec<WordId>>,
+    /// Flat edge list for uniform edge sampling.
+    edges: Vec<(u32, WordId)>, // (index into `pois`, word)
+    /// Negative sampler over the vocabulary, weighted by word frequency
+    /// *within this graph* raised to 0.75 (or uniform, see
+    /// [`TextualContextGraph::build`]).
+    negative_table: NegativeTable,
+}
+
+impl TextualContextGraph {
+    /// Builds the graph for the given POIs of `dataset`.
+    ///
+    /// `unigram_power` weights the negative-sampling distribution
+    /// (0.75 = word2vec default; 0.0 = uniform — an ablation flag).
+    ///
+    /// # Panics
+    /// Panics if no POI contributes any word (the skipgram loss would be
+    /// undefined).
+    pub fn build(dataset: &Dataset, pois: &[PoiId], unigram_power: f64) -> Self {
+        let vocab_len = dataset.vocab().len();
+        assert!(vocab_len > 0, "empty vocabulary");
+        let mut counts = vec![0u64; vocab_len];
+        let mut words_per_poi = Vec::with_capacity(pois.len());
+        let mut edges = Vec::new();
+        for (pi, &poi) in pois.iter().enumerate() {
+            let words = dataset.poi(poi).words.clone();
+            for &w in &words {
+                counts[w.idx()] += 1;
+                edges.push((pi as u32, w));
+            }
+            words_per_poi.push(words);
+        }
+        assert!(!edges.is_empty(), "context graph has no POI-word edges");
+        Self {
+            pois: pois.to_vec(),
+            words_per_poi,
+            edges,
+            negative_table: NegativeTable::from_counts(&counts, unigram_power),
+        }
+    }
+
+    /// Member POIs.
+    pub fn pois(&self) -> &[PoiId] {
+        &self.pois
+    }
+
+    /// Number of POI-word edges (`|E_vw|`).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average POI degree (`n` in the paper's complexity analysis).
+    pub fn avg_degree(&self) -> f64 {
+        if self.pois.is_empty() {
+            0.0
+        } else {
+            self.edges.len() as f64 / self.pois.len() as f64
+        }
+    }
+
+    /// Words of the `i`-th member POI.
+    pub fn poi_words(&self, i: usize) -> &[WordId] {
+        &self.words_per_poi[i]
+    }
+
+    /// Samples a batch of training tuples: for each tuple, a POI (by its
+    /// local index), one positive word, and `negatives` negative words not
+    /// in the POI's description.
+    ///
+    /// Positive edges are drawn uniformly so every edge contributes
+    /// equally to `L_Gvw`, as in Eq. 4's sum over `E_vw`.
+    pub fn sample_batch(
+        &self,
+        batch: usize,
+        negatives: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<ContextSample> {
+        (0..batch)
+            .map(|_| {
+                let &(pi, word) = &self.edges[rng.gen_range(0..self.edges.len())];
+                let exclude = &self.words_per_poi[pi as usize];
+                let negs = (0..negatives)
+                    .map(|_| self.negative_table.sample_excluding(exclude, rng))
+                    .collect();
+                ContextSample {
+                    poi_index: pi as usize,
+                    positive: word,
+                    negatives: negs,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One skipgram training tuple produced by
+/// [`TextualContextGraph::sample_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContextSample {
+    /// Index into [`TextualContextGraph::pois`] (NOT a dense dataset id).
+    pub poi_index: usize,
+    /// A word actually describing the POI.
+    pub positive: WordId,
+    /// Sampled words not describing the POI.
+    pub negatives: Vec<WordId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::tiny_dataset;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn builds_edges_for_selected_pois() {
+        let d = tiny_dataset();
+        let g = TextualContextGraph::build(&d, &[PoiId(2), PoiId(3)], 0.75);
+        // p2 has 2 words, p3 has 1.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.pois(), &[PoiId(2), PoiId(3)]);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+        assert_eq!(g.poi_words(1), d.poi(PoiId(3)).words);
+    }
+
+    #[test]
+    fn samples_respect_positive_membership() {
+        let d = tiny_dataset();
+        let g = TextualContextGraph::build(&d, &[PoiId(0), PoiId(1), PoiId(2), PoiId(3)], 0.75);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for s in g.sample_batch(200, 3, &mut rng) {
+            let words = g.poi_words(s.poi_index);
+            assert!(words.contains(&s.positive), "positive must describe the POI");
+            assert_eq!(s.negatives.len(), 3);
+            for n in &s.negatives {
+                assert!(!words.contains(n), "negative must not describe the POI");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_covers_all_edges_eventually() {
+        let d = tiny_dataset();
+        let g = TextualContextGraph::build(&d, &[PoiId(0), PoiId(2)], 0.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut seen = std::collections::HashSet::new();
+        for s in g.sample_batch(300, 1, &mut rng) {
+            seen.insert((s.poi_index, s.positive));
+        }
+        assert_eq!(seen.len(), g.num_edges(), "uniform edge sampling covers all");
+    }
+
+    #[test]
+    #[should_panic(expected = "no POI-word edges")]
+    fn rejects_wordless_graph() {
+        let d = tiny_dataset();
+        TextualContextGraph::build(&d, &[], 0.75);
+    }
+}

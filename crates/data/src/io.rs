@@ -1,0 +1,314 @@
+//! Plain-text dataset interchange.
+//!
+//! Real check-in dumps (the paper's Foursquare format: user-ID, POI-ID,
+//! time, contents, location, city) arrive as delimited text. This module
+//! reads and writes a self-contained two-section format so users can run
+//! the library on their own data without any extra dependencies:
+//!
+//! ```text
+//! # cities
+//! city_id<TAB>name<TAB>min_lat<TAB>max_lat<TAB>min_lon<TAB>max_lon
+//! # pois
+//! poi_id<TAB>city_id<TAB>lat<TAB>lon<TAB>name<TAB>word|word|word
+//! # checkins
+//! user_id<TAB>poi_id<TAB>time
+//! ```
+//!
+//! Ids must be dense (0..n) per entity, matching [`Dataset::new`]'s
+//! invariants; violations surface as [`IoError::Malformed`] with a line
+//! number rather than a panic.
+
+use crate::{Checkin, City, CityId, Dataset, Poi, PoiId, UserId, Vocabulary, WordId};
+use st_geo::{BoundingBox, GeoPoint};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from dataset parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structural problem, with the 1-based line number.
+    Malformed {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Malformed { line, message } => {
+                write!(f, "malformed dataset at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Malformed {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a dataset to the text format.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# cities")?;
+    for c in dataset.cities() {
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            c.id.0, c.name, c.bbox.min_lat, c.bbox.max_lat, c.bbox.min_lon, c.bbox.max_lon
+        )?;
+    }
+    writeln!(out, "# pois")?;
+    for p in dataset.pois() {
+        let words: Vec<&str> = p.words.iter().map(|&w| dataset.vocab().word(w)).collect();
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            p.id.0,
+            p.city.0,
+            p.location.lat,
+            p.location.lon,
+            p.name,
+            words.join("|")
+        )?;
+    }
+    writeln!(out, "# checkins")?;
+    for c in dataset.checkins() {
+        writeln!(out, "{}\t{}\t{}", c.user.0, c.poi.0, c.time)?;
+    }
+    Ok(())
+}
+
+/// Parses a dataset from the text format.
+///
+/// The number of users is inferred as `max(user_id) + 1`.
+pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, IoError> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Cities,
+        Pois,
+        Checkins,
+    }
+    let mut section = Section::None;
+    let mut cities: Vec<City> = Vec::new();
+    let mut pois: Vec<Poi> = Vec::new();
+    let mut vocab = Vocabulary::new();
+    let mut checkins: Vec<Checkin> = Vec::new();
+    let mut max_user: i64 = -1;
+
+    for (i, line) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "# cities" => {
+                section = Section::Cities;
+                continue;
+            }
+            "# pois" => {
+                section = Section::Pois;
+                continue;
+            }
+            "# checkins" => {
+                section = Section::Checkins;
+                continue;
+            }
+            _ => {}
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match section {
+            Section::None => {
+                return Err(malformed(line_no, "record before any section header"));
+            }
+            Section::Cities => {
+                if fields.len() != 6 {
+                    return Err(malformed(line_no, "city needs 6 tab-separated fields"));
+                }
+                let id: u16 = parse(fields[0], line_no, "city id")?;
+                if id as usize != cities.len() {
+                    return Err(malformed(line_no, format!("city ids must be dense; got {id}")));
+                }
+                let (min_lat, max_lat): (f64, f64) = (
+                    parse(fields[2], line_no, "min_lat")?,
+                    parse(fields[3], line_no, "max_lat")?,
+                );
+                let (min_lon, max_lon): (f64, f64) = (
+                    parse(fields[4], line_no, "min_lon")?,
+                    parse(fields[5], line_no, "max_lon")?,
+                );
+                if min_lat >= max_lat || min_lon >= max_lon {
+                    return Err(malformed(line_no, "degenerate bounding box"));
+                }
+                cities.push(City {
+                    id: CityId(id),
+                    name: fields[1].to_string(),
+                    bbox: BoundingBox::new(min_lat, max_lat, min_lon, max_lon),
+                });
+            }
+            Section::Pois => {
+                if fields.len() != 6 {
+                    return Err(malformed(line_no, "POI needs 6 tab-separated fields"));
+                }
+                let id: u32 = parse(fields[0], line_no, "poi id")?;
+                if id as usize != pois.len() {
+                    return Err(malformed(line_no, format!("POI ids must be dense; got {id}")));
+                }
+                let city: u16 = parse(fields[1], line_no, "city id")?;
+                if city as usize >= cities.len() {
+                    return Err(malformed(line_no, format!("POI references unknown city {city}")));
+                }
+                let lat: f64 = parse(fields[2], line_no, "lat")?;
+                let lon: f64 = parse(fields[3], line_no, "lon")?;
+                if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+                    return Err(malformed(line_no, "coordinates out of range"));
+                }
+                let mut words: Vec<WordId> = fields[5]
+                    .split('|')
+                    .filter(|w| !w.is_empty())
+                    .map(|w| vocab.observe(w))
+                    .collect();
+                words.sort_unstable();
+                words.dedup();
+                if words.is_empty() {
+                    return Err(malformed(line_no, "POI needs at least one word"));
+                }
+                pois.push(Poi {
+                    id: PoiId(id),
+                    city: CityId(city),
+                    location: GeoPoint::new(lat, lon),
+                    words,
+                    name: fields[4].to_string(),
+                });
+            }
+            Section::Checkins => {
+                if fields.len() != 3 {
+                    return Err(malformed(line_no, "check-in needs 3 tab-separated fields"));
+                }
+                let user: u32 = parse(fields[0], line_no, "user id")?;
+                let poi: u32 = parse(fields[1], line_no, "poi id")?;
+                if poi as usize >= pois.len() {
+                    return Err(malformed(line_no, format!("check-in references unknown POI {poi}")));
+                }
+                let time: u32 = parse(fields[2], line_no, "time")?;
+                max_user = max_user.max(user as i64);
+                checkins.push(Checkin {
+                    user: UserId(user),
+                    poi: PoiId(poi),
+                    time,
+                });
+            }
+        }
+    }
+    if cities.is_empty() {
+        return Err(malformed(0, "no cities section"));
+    }
+    Ok(Dataset::new(
+        cities,
+        pois,
+        vocab,
+        (max_user + 1).max(0) as usize,
+        checkins,
+    ))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, IoError> {
+    s.parse()
+        .map_err(|_| malformed(line, format!("cannot parse {what} from {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let d2 = read_dataset(BufReader::new(buf.as_slice())).unwrap();
+
+        assert_eq!(d.num_users(), d2.num_users());
+        assert_eq!(d.num_pois(), d2.num_pois());
+        assert_eq!(d.checkins(), d2.checkins());
+        assert_eq!(d.cities().len(), d2.cities().len());
+        for (a, b) in d.pois().iter().zip(d2.pois()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.city, b.city);
+            assert_eq!(a.name, b.name);
+            // Word *strings* must match (ids may be renumbered).
+            let words = |d: &Dataset, p: &Poi| -> Vec<String> {
+                let mut w: Vec<String> = p
+                    .words
+                    .iter()
+                    .map(|&w| d.vocab().word(w).to_string())
+                    .collect();
+                w.sort();
+                w
+            };
+            assert_eq!(words(&d, a), words(&d2, b));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_numbers() {
+        let bad = "# cities\n0\tX\t0\t1\t0\t1\n# pois\n0\t5\t0.5\t0.5\tname\tword\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        match err {
+            IoError::Malformed { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("unknown city"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let bad = "# cities\n0\tX\t0\t1\t0\t1\n# pois\n7\t0\t0.5\t0.5\tname\tword\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn rejects_record_before_header() {
+        let bad = "0\tX\t0\t1\t0\t1\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("section header"));
+    }
+
+    #[test]
+    fn rejects_unknown_poi_in_checkin() {
+        let bad = "# cities\n0\tX\t0\t1\t0\t1\n# pois\n0\t0\t0.5\t0.5\tn\tw\n# checkins\n0\t9\t1\n";
+        let err = read_dataset(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("unknown POI"), "{err}");
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let ok = "# cities\n\n0\tX\t0\t1\t0\t1\n\n# pois\n0\t0\t0.5\t0.5\tn\tw\n# checkins\n";
+        let d = read_dataset(BufReader::new(ok.as_bytes())).unwrap();
+        assert_eq!(d.num_pois(), 1);
+        assert_eq!(d.num_users(), 0);
+    }
+}

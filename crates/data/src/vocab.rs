@@ -1,0 +1,246 @@
+//! Vocabulary with word frequencies and a unigram^0.75 negative-sampling
+//! table (Mikolov et al. [14], used by the skipgram loss of Eq. 4).
+
+use crate::WordId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An interned word vocabulary with occurrence counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `word`, returning its id (stable across calls).
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = WordId(self.words.len() as u32);
+        self.words.push(word.to_owned());
+        self.counts.push(0);
+        self.index.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Interns `word` and counts one occurrence.
+    pub fn observe(&mut self, word: &str) -> WordId {
+        let id = self.intern(word);
+        self.counts[id.idx()] += 1;
+        id
+    }
+
+    /// Counts `n` additional occurrences of an already-interned word.
+    pub fn add_count(&mut self, id: WordId, n: u64) {
+        self.counts[id.idx()] += n;
+    }
+
+    /// Looks up a word's id.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// The string for an id.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.idx()]
+    }
+
+    /// Occurrence count for an id.
+    pub fn count(&self, id: WordId) -> u64 {
+        self.counts[id.idx()]
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words are interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates `(id, word, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str, u64)> {
+        self.words
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (w, &c))| (WordId(i as u32), w.as_str(), c))
+    }
+
+    /// Builds a negative-sampling table over this vocabulary.
+    pub fn negative_table(&self, power: f64) -> NegativeTable {
+        NegativeTable::from_counts(&self.counts, power)
+    }
+}
+
+/// Samples word ids with probability proportional to `count^power`
+/// (`power = 0.75` is the word2vec default; `power = 0` gives uniform).
+///
+/// Implemented as a cumulative table with binary search: O(log V) per
+/// sample, no aliasing precision issues, and cheap to rebuild.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NegativeTable {
+    cumulative: Vec<f64>,
+}
+
+impl NegativeTable {
+    /// Builds the table from raw counts.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty or sums to zero after weighting.
+    pub fn from_counts(counts: &[u64], power: f64) -> Self {
+        assert!(!counts.is_empty(), "cannot sample from an empty vocabulary");
+        assert!(power >= 0.0, "power must be non-negative");
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for &c in counts {
+            // Words with zero observed count still get epsilon mass so the
+            // table never breaks on synthetic vocabularies with rare words.
+            acc += (c as f64).powf(power).max(1e-12);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "degenerate sampling weights");
+        Self { cumulative }
+    }
+
+    /// Number of sampleable ids.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the table is empty (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one word id.
+    pub fn sample(&self, rng: &mut impl Rng) -> WordId {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let x = rng.gen::<f64>() * total;
+        let pos = self.cumulative.partition_point(|&c| c <= x);
+        WordId(pos.min(self.cumulative.len() - 1) as u32)
+    }
+
+    /// Draws a negative that differs from every id in `exclude`, retrying
+    /// a bounded number of times before falling back to a linear scan.
+    pub fn sample_excluding(&self, exclude: &[WordId], rng: &mut impl Rng) -> WordId {
+        for _ in 0..32 {
+            let id = self.sample(rng);
+            if !exclude.contains(&id) {
+                return id;
+            }
+        }
+        // Pathological exclusion set: scan for any admissible id.
+        for i in 0..self.len() {
+            let id = WordId(i as u32);
+            if !exclude.contains(&id) {
+                return id;
+            }
+        }
+        panic!("exclusion set covers the entire vocabulary");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("park");
+        let b = v.intern("park");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.word(a), "park");
+        assert_eq!(v.get("park"), Some(a));
+        assert_eq!(v.get("museum"), None);
+    }
+
+    #[test]
+    fn observe_counts_occurrences() {
+        let mut v = Vocabulary::new();
+        let a = v.observe("pizza");
+        v.observe("pizza");
+        v.observe("bar");
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.iter().count(), 2);
+    }
+
+    #[test]
+    fn negative_table_respects_frequency_skew() {
+        let mut v = Vocabulary::new();
+        let hot = v.intern("hot");
+        let cold = v.intern("cold");
+        v.add_count(hot, 1000);
+        v.add_count(cold, 10);
+        let table = v.negative_table(1.0);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut hot_hits = 0;
+        for _ in 0..2000 {
+            if table.sample(&mut rng) == hot {
+                hot_hits += 1;
+            }
+        }
+        // Expected ~ 2000 * 1000/1010 = 1980.
+        assert!(hot_hits > 1900, "hot sampled {hot_hits}/2000");
+        let _ = cold;
+    }
+
+    #[test]
+    fn power_zero_is_roughly_uniform() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("a");
+        v.add_count(a, 1_000_000);
+        v.intern("b");
+        let table = v.negative_table(0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..2000)
+            .filter(|_| table.sample(&mut rng) == a)
+            .count();
+        assert!((800..1200).contains(&hits), "a sampled {hits}/2000");
+    }
+
+    #[test]
+    fn sample_excluding_avoids_listed_ids() {
+        let mut v = Vocabulary::new();
+        let a = v.observe("a");
+        let b = v.observe("b");
+        let table = v.negative_table(0.75);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(table.sample_excluding(&[a], &mut rng), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "entire vocabulary")]
+    fn sample_excluding_everything_panics() {
+        let mut v = Vocabulary::new();
+        let a = v.observe("only");
+        let table = v.negative_table(0.75);
+        let mut rng = SmallRng::seed_from_u64(3);
+        table.sample_excluding(&[a], &mut rng);
+    }
+
+    #[test]
+    fn zero_count_words_remain_sampleable() {
+        let mut v = Vocabulary::new();
+        v.intern("never-observed");
+        let table = v.negative_table(0.75);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = table.sample(&mut rng); // must not panic on zero mass
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the data substrate and generator invariants.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, NegativeTable, UserId, Vocabulary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seeded tiny dataset satisfies the referential and split
+    /// invariants the rest of the system assumes.
+    #[test]
+    fn generated_datasets_are_internally_consistent(seed in 0u64..50) {
+        let cfg = SynthConfig::tiny().with_seed(seed);
+        let (d, meta) = generate(&cfg);
+        let target = CityId(cfg.target_city as u16);
+
+        // Every check-in references valid users and POIs (Dataset::new
+        // would have panicked otherwise); POIs have non-empty words.
+        for poi in d.pois() {
+            prop_assert!(!poi.words.is_empty());
+            prop_assert!(d.city(poi.city).bbox.contains(&poi.location)
+                || on_boundary(&d.city(poi.city).bbox, &poi.location));
+        }
+
+        // Split invariants: held-out = test users' target check-ins.
+        let split = CrossingCitySplit::build(&d, target);
+        prop_assert_eq!(&split.test_users, &meta.crossing_users);
+        let held = split.held_out_checkins(&d);
+        prop_assert!(held > 0);
+        prop_assert_eq!(split.train.len() + held, d.checkins().len());
+        for (i, &u) in split.test_users.iter().enumerate() {
+            prop_assert!(!split.ground_truth_for(i).is_empty());
+            // No ground-truth POI appears among the user's training
+            // check-ins (no leakage).
+            for c in split.train.iter().filter(|c| c.user == u) {
+                prop_assert!(!split.ground_truth_for(i).contains(&c.poi)
+                    || d.poi(c.poi).city != target);
+            }
+        }
+        let _ = UserId(0);
+    }
+}
+
+fn on_boundary(bbox: &st_geo::BoundingBox, p: &st_geo::GeoPoint) -> bool {
+    // Clamping in the generator can place a POI exactly on the max edge,
+    // which `contains` treats as outside (half-open box).
+    (p.lat - bbox.max_lat).abs() < 1e-9 || (p.lon - bbox.max_lon).abs() < 1e-9
+}
+
+proptest! {
+    /// The negative table samples valid ids under any count profile.
+    #[test]
+    fn negative_table_samples_in_range(
+        counts in proptest::collection::vec(0u64..1000, 1..40),
+        power in 0.0f64..2.0,
+        seed in 0u64..100
+    ) {
+        let table = NegativeTable::from_counts(&counts, power);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let id = table.sample(&mut rng);
+            prop_assert!((id.idx()) < counts.len());
+        }
+    }
+
+    /// Interning is injective and stable under arbitrary word sets.
+    #[test]
+    fn vocabulary_interning_is_bijective(words in proptest::collection::hash_set("[a-z]{1,8}", 1..30)) {
+        let mut vocab = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| vocab.intern(w)).collect();
+        prop_assert_eq!(vocab.len(), words.len());
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ids.len(), "duplicate ids for distinct words");
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(vocab.word(*id), w.as_str());
+            prop_assert_eq!(vocab.get(w), Some(*id));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Bootstrap confidence intervals for metric reports.
+//!
+//! Crossing-city test sets are small (732 / 983 users in the paper, fewer
+//! at reduced scales), so point estimates of Recall@k etc. carry real
+//! sampling noise. [`bootstrap_ci`] resamples *users* with replacement —
+//! the correct unit, since the protocol averages per-user metrics — and
+//! reports percentile intervals. EXPERIMENTS.md uses these to state which
+//! paper-shape claims are resolved above noise.
+
+use crate::{Metric, UserMetrics};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided percentile confidence interval for one metric/cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean over users).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// True if the interval excludes `other`'s interval entirely
+    /// (a conservative "resolved above noise" check).
+    pub fn clearly_above(&self, other: &ConfidenceInterval) -> bool {
+        self.lo > other.hi
+    }
+}
+
+/// Computes a bootstrap CI for `metric` at cutoff `k` from per-user
+/// metric rows (as produced by [`crate::rank_metrics`]).
+///
+/// `level` is the two-sided confidence level (e.g. 0.95).
+///
+/// # Panics
+/// Panics on an empty user set, zero resamples, or a level outside (0, 1).
+pub fn bootstrap_ci(
+    users: &[UserMetrics],
+    metric: Metric,
+    k: usize,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert!(!users.is_empty(), "no users to bootstrap");
+    assert!(resamples > 0, "need at least one resample");
+    assert!((0.0..1.0).contains(&(1.0 - level)) && level > 0.0, "bad level");
+    let mi = Metric::ALL
+        .iter()
+        .position(|&m| m == metric)
+        .expect("known metric");
+    let ki = users[0]
+        .ks
+        .iter()
+        .position(|&kk| kk == k)
+        .unwrap_or_else(|| panic!("cutoff {k} was not evaluated"));
+    let values: Vec<f64> = users.iter().map(|u| u.values[mi][ki]).collect();
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += values[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha) as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)) as usize).min(resamples - 1);
+    ConfidenceInterval {
+        mean,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank_metrics;
+
+    fn users_with_recall(values: &[f64]) -> Vec<UserMetrics> {
+        // Construct per-user metrics where recall@1 is 1 or 0 as listed.
+        values
+            .iter()
+            .map(|&v| {
+                let rel = v > 0.5;
+                rank_metrics(&[0.9, 0.1], &[rel, !rel], &[1])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let users = users_with_recall(&[1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+        let ci = bootstrap_ci(&users, Metric::Recall, 1, 500, 0.95, 7);
+        assert!((ci.mean - 5.0 / 8.0).abs() < 1e-12);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_sample_has_zero_width() {
+        let users = users_with_recall(&[1.0; 20]);
+        let ci = bootstrap_ci(&users, Metric::Recall, 1, 200, 0.95, 1);
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn more_users_narrow_the_interval() {
+        let pattern: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let small = users_with_recall(&pattern);
+        let large: Vec<UserMetrics> = (0..20).flat_map(|_| users_with_recall(&pattern)).collect();
+        let ci_small = bootstrap_ci(&small, Metric::Recall, 1, 400, 0.95, 2);
+        let ci_large = bootstrap_ci(&large, Metric::Recall, 1, 400, 0.95, 2);
+        assert!(
+            ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo,
+            "CI did not narrow: {ci_small:?} vs {ci_large:?}"
+        );
+    }
+
+    #[test]
+    fn clearly_above_requires_disjoint_intervals() {
+        let a = ConfidenceInterval { mean: 0.8, lo: 0.7, hi: 0.9 };
+        let b = ConfidenceInterval { mean: 0.5, lo: 0.4, hi: 0.6 };
+        assert!(a.clearly_above(&b));
+        assert!(!b.clearly_above(&a));
+        let c = ConfidenceInterval { mean: 0.65, lo: 0.55, hi: 0.75 };
+        assert!(!a.clearly_above(&c), "overlapping intervals are unresolved");
+    }
+
+    #[test]
+    fn seeded_bootstrap_is_deterministic() {
+        let users = users_with_recall(&[1.0, 0.0, 1.0, 1.0]);
+        let a = bootstrap_ci(&users, Metric::Recall, 1, 300, 0.9, 5);
+        let b = bootstrap_ci(&users, Metric::Recall, 1, 300, 0.9, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,292 @@
+//! Ranking metrics: Recall@k, Precision@k, NDCG@k, MAP@k.
+//!
+//! Definitions follow the POI-recommendation evaluation survey the paper
+//! cites ([20], Liu et al., VLDB'17): metrics are computed per user over
+//! a ranked candidate list against a ground-truth set, then averaged.
+
+use serde::{Deserialize, Serialize};
+
+/// The four metric families reported in every figure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Fraction of ground truth retrieved in the top-k.
+    Recall,
+    /// Fraction of the top-k that is ground truth.
+    Precision,
+    /// Normalized discounted cumulative gain.
+    Ndcg,
+    /// Mean average precision (truncated at k).
+    Map,
+}
+
+impl Metric {
+    /// All metrics in the paper's reporting order.
+    pub const ALL: [Metric; 4] = [Metric::Recall, Metric::Precision, Metric::Ndcg, Metric::Map];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Recall => "Recall",
+            Metric::Precision => "Precision",
+            Metric::Ndcg => "NDCG",
+            Metric::Map => "MAP",
+        }
+    }
+}
+
+/// Computes one metric at cutoff `k` for a single ranked list.
+///
+/// `ranked` is the candidate list in descending score order; `relevant`
+/// marks which candidates are ground truth (parallel to `ranked`'s
+/// index space — see [`rank_metrics`] for the usual entry point).
+pub fn metric_at_k(metric: Metric, hits: &[bool], num_relevant: usize, k: usize) -> f64 {
+    assert!(k > 0, "cutoff k must be positive");
+    if num_relevant == 0 {
+        return 0.0;
+    }
+    let k = k.min(hits.len());
+    match metric {
+        Metric::Recall => {
+            let got = hits[..k].iter().filter(|&&h| h).count();
+            got as f64 / num_relevant as f64
+        }
+        Metric::Precision => {
+            let got = hits[..k].iter().filter(|&&h| h).count();
+            got as f64 / k as f64
+        }
+        Metric::Ndcg => {
+            let dcg: f64 = hits[..k]
+                .iter()
+                .enumerate()
+                .filter(|(_, &h)| h)
+                .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+                .sum();
+            let ideal: f64 = (0..num_relevant.min(k))
+                .map(|i| 1.0 / ((i + 2) as f64).log2())
+                .sum();
+            dcg / ideal
+        }
+        Metric::Map => {
+            let mut hits_so_far = 0usize;
+            let mut ap = 0.0;
+            for (i, &h) in hits[..k].iter().enumerate() {
+                if h {
+                    hits_so_far += 1;
+                    ap += hits_so_far as f64 / (i + 1) as f64;
+                }
+            }
+            ap / num_relevant.min(k) as f64
+        }
+    }
+}
+
+/// Computes all four metrics at several cutoffs for one user's ranking.
+///
+/// `scores` and `relevant` are parallel: `relevant[i]` says whether
+/// candidate `i` is ground truth. Ties are broken by candidate order
+/// (stable sort), which keeps evaluation deterministic.
+pub fn rank_metrics(scores: &[f32], relevant: &[bool], ks: &[usize]) -> UserMetrics {
+    assert_eq!(scores.len(), relevant.len(), "scores/relevance mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let hits: Vec<bool> = order.iter().map(|&i| relevant[i]).collect();
+    let num_relevant = relevant.iter().filter(|&&r| r).count();
+    let values = Metric::ALL
+        .iter()
+        .map(|&m| ks.iter().map(|&k| metric_at_k(m, &hits, num_relevant, k)).collect())
+        .collect();
+    UserMetrics {
+        ks: ks.to_vec(),
+        values,
+    }
+}
+
+/// Per-user metric values: `values[metric_index][k_index]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserMetrics {
+    /// Cutoffs evaluated.
+    pub ks: Vec<usize>,
+    /// Indexed by [`Metric::ALL`] order, then by cutoff.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// Accumulates per-user metrics into averages.
+#[derive(Debug, Clone, Default)]
+pub struct MetricAccumulator {
+    ks: Vec<usize>,
+    sums: Vec<Vec<f64>>,
+    users: usize,
+}
+
+impl MetricAccumulator {
+    /// Creates an accumulator for the given cutoffs.
+    pub fn new(ks: &[usize]) -> Self {
+        Self {
+            ks: ks.to_vec(),
+            sums: vec![vec![0.0; ks.len()]; Metric::ALL.len()],
+            users: 0,
+        }
+    }
+
+    /// Adds one user's metrics.
+    pub fn add(&mut self, user: &UserMetrics) {
+        assert_eq!(user.ks, self.ks, "cutoff mismatch");
+        for (sum_row, user_row) in self.sums.iter_mut().zip(&user.values) {
+            for (s, v) in sum_row.iter_mut().zip(user_row) {
+                *s += v;
+            }
+        }
+        self.users += 1;
+    }
+
+    /// Number of users accumulated.
+    pub fn num_users(&self) -> usize {
+        self.users
+    }
+
+    /// Finalizes into averages.
+    pub fn finish(&self) -> MetricReport {
+        let n = self.users.max(1) as f64;
+        MetricReport {
+            ks: self.ks.clone(),
+            values: self
+                .sums
+                .iter()
+                .map(|row| row.iter().map(|s| s / n).collect())
+                .collect(),
+            users: self.users,
+        }
+    }
+}
+
+/// Averaged metrics over all test users — one evaluation run's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricReport {
+    /// Cutoffs evaluated.
+    pub ks: Vec<usize>,
+    /// `values[metric][k]`, metric order per [`Metric::ALL`].
+    pub values: Vec<Vec<f64>>,
+    /// Number of users averaged.
+    pub users: usize,
+}
+
+impl MetricReport {
+    /// Reads one averaged value.
+    pub fn get(&self, metric: Metric, k: usize) -> f64 {
+        let mi = Metric::ALL.iter().position(|&m| m == metric).expect("known metric");
+        let ki = self
+            .ks
+            .iter()
+            .position(|&kk| kk == k)
+            .unwrap_or_else(|| panic!("cutoff {k} was not evaluated"));
+        self.values[mi][ki]
+    }
+}
+
+impl std::fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:>10}", "")?;
+        for k in &self.ks {
+            write!(f, "  @{k:<6}")?;
+        }
+        writeln!(f)?;
+        for (mi, m) in Metric::ALL.iter().enumerate() {
+            write!(f, "{:>10}", m.name())?;
+            for v in &self.values[mi] {
+                write!(f, "  {v:.4}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "({} users)", self.users)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Candidates: [GT, neg, GT, neg, neg]; scores put GT at ranks 1 and 3.
+    fn example() -> (Vec<f32>, Vec<bool>) {
+        (
+            vec![0.9, 0.5, 0.7, 0.3, 0.1],
+            vec![true, false, true, false, false],
+        )
+    }
+
+    #[test]
+    fn recall_precision_known_values() {
+        let (s, r) = example();
+        let m = rank_metrics(&s, &r, &[1, 2, 3]);
+        // Ranked relevance: [T, T(0.7), F, F, F] -> hits at ranks 1,2.
+        assert_eq!(m.values[0], vec![0.5, 1.0, 1.0]); // recall
+        assert_eq!(m.values[1], vec![1.0, 1.0, 2.0 / 3.0]); // precision
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let scores = vec![0.9, 0.8, 0.1, 0.05];
+        let rel = vec![true, true, false, false];
+        let m = rank_metrics(&scores, &rel, &[2, 4]);
+        let ndcg = &m.values[2];
+        assert!((ndcg[0] - 1.0).abs() < 1e-12);
+        assert!((ndcg[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_late_hits() {
+        let early = rank_metrics(&[0.9, 0.1, 0.2], &[true, false, false], &[3]);
+        let late = rank_metrics(&[0.1, 0.9, 0.8], &[true, false, false], &[3]);
+        assert!(early.values[2][0] > late.values[2][0]);
+        // Exact: hit at rank 3 -> 1/log2(4) = 0.5.
+        assert!((late.values[2][0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_known_value() {
+        // Hits at ranks 1 and 3 of top-3, |GT| = 2:
+        // AP = (1/1 + 2/3) / 2 = 5/6.
+        let m = rank_metrics(&[0.9, 0.5, 0.4], &[true, false, true], &[3]);
+        assert!((m.values[3][0] - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ground_truth_scores_zero() {
+        let m = rank_metrics(&[0.5, 0.4], &[false, false], &[1, 2]);
+        for row in &m.values {
+            assert!(row.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn cutoff_beyond_list_is_clamped() {
+        let m = rank_metrics(&[0.9], &[true], &[10]);
+        assert_eq!(m.values[0][0], 1.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new(&[1]);
+        acc.add(&rank_metrics(&[0.9, 0.1], &[true, false], &[1])); // recall 1
+        acc.add(&rank_metrics(&[0.1, 0.9], &[true, false], &[1])); // recall 0
+        let report = acc.finish();
+        assert_eq!(report.users, 2);
+        assert!((report.get(Metric::Recall, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not evaluated")]
+    fn report_rejects_unknown_cutoff() {
+        let acc = MetricAccumulator::new(&[2]);
+        acc.finish().get(Metric::Recall, 7);
+    }
+
+    #[test]
+    fn display_contains_all_metric_names() {
+        let mut acc = MetricAccumulator::new(&[2, 4]);
+        acc.add(&rank_metrics(&[0.9, 0.1], &[true, false], &[2, 4]));
+        let text = acc.finish().to_string();
+        for m in Metric::ALL {
+            assert!(text.contains(m.name()));
+        }
+    }
+}

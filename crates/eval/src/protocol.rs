@@ -1,0 +1,243 @@
+//! The paper's evaluation protocol (Sec. 4.1, "Evaluation Metrics"):
+//! for each crossing-city test user, sample 100 target-city POIs the user
+//! never visited, rank them together with the ground truth, and compute
+//! top-k metrics.
+
+use crate::{rank_metrics, MetricAccumulator, MetricReport};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_data::{CrossingCitySplit, Dataset, PoiId, UserId};
+
+/// Anything that can score (user, POI) pairs for ranking.
+///
+/// `score_batch` is the required method because neural scorers are far
+/// cheaper on batches; `score` is provided for convenience.
+pub trait Scorer {
+    /// Scores every POI in `pois` for `user`; higher ranks earlier.
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32>;
+
+    /// Scores a single pair.
+    fn score(&self, user: UserId, poi: PoiId) -> f32 {
+        self.score_batch(user, &[poi])[0]
+    }
+}
+
+impl<S: Scorer + ?Sized> Scorer for &S {
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+        (**self).score_batch(user, pois)
+    }
+}
+
+impl<S: Scorer + ?Sized> Scorer for Box<S> {
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+        (**self).score_batch(user, pois)
+    }
+}
+
+/// Protocol configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Negatives sampled per user (paper: 100).
+    pub negatives: usize,
+    /// Cutoffs (paper: 2, 4, 6, 8, 10).
+    pub ks: Vec<usize>,
+    /// Seed for negative sampling: fixed seed = identical candidate sets
+    /// across methods, which is what makes the comparison figures fair.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            negatives: 100,
+            ks: vec![2, 4, 6, 8, 10],
+            seed: 0xE7A1,
+        }
+    }
+}
+
+/// Evaluates `scorer` on a crossing-city split under the paper's
+/// 100-negative ranking protocol.
+///
+/// Users with empty ground truth are skipped (cannot occur for splits
+/// built from [`CrossingCitySplit::build`], which defines test users by
+/// their target-city visits).
+pub fn evaluate(
+    scorer: &dyn Scorer,
+    dataset: &Dataset,
+    split: &CrossingCitySplit,
+    config: &EvalConfig,
+) -> MetricReport {
+    assert!(config.negatives > 0, "need at least one negative");
+    assert!(!config.ks.is_empty(), "need at least one cutoff");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let target_pois = dataset.pois_in_city(split.target_city);
+    let mut acc = MetricAccumulator::new(&config.ks);
+
+    for (i, &user) in split.test_users.iter().enumerate() {
+        let truth = split.ground_truth_for(i);
+        if truth.is_empty() {
+            continue;
+        }
+        let candidates = sample_candidates(target_pois, truth, config.negatives, &mut rng);
+        let scores = scorer.score_batch(user, &candidates);
+        let relevant: Vec<bool> = candidates.iter().map(|p| truth.contains(p)).collect();
+        acc.add(&rank_metrics(&scores, &relevant, &config.ks));
+    }
+    acc.finish()
+}
+
+/// Candidate set: all ground-truth POIs plus `negatives` distinct unvisited
+/// target-city POIs (fewer if the city is too small).
+fn sample_candidates(
+    target_pois: &[PoiId],
+    truth: &[PoiId],
+    negatives: usize,
+    rng: &mut SmallRng,
+) -> Vec<PoiId> {
+    let mut candidates: Vec<PoiId> = truth.to_vec();
+    let pool: Vec<PoiId> = target_pois
+        .iter()
+        .copied()
+        .filter(|p| !truth.contains(p))
+        .collect();
+    let k = negatives.min(pool.len());
+    // Partial Fisher-Yates over a scratch index vector.
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+        candidates.push(pool[idx[i]]);
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::CityId;
+
+    /// Oracle scorer: knows the ground truth, scores it highest.
+    struct Oracle<'a> {
+        split: &'a CrossingCitySplit,
+    }
+
+    impl Scorer for Oracle<'_> {
+        fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            let idx = self
+                .split
+                .test_users
+                .iter()
+                .position(|&u| u == user)
+                .expect("test user");
+            let truth = self.split.ground_truth_for(idx);
+            pois.iter()
+                .map(|p| if truth.contains(p) { 1.0 } else { 0.0 })
+                .collect()
+        }
+    }
+
+    /// Anti-oracle: ranks ground truth last.
+    struct AntiOracle<'a> {
+        split: &'a CrossingCitySplit,
+    }
+
+    impl Scorer for AntiOracle<'_> {
+        fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            Oracle { split: self.split }
+                .score_batch(user, pois)
+                .into_iter()
+                .map(|s| -s)
+                .collect()
+        }
+    }
+
+    fn setup() -> (st_data::Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (d, split)
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_topk_metrics() {
+        let (d, split) = setup();
+        let report = evaluate(&Oracle { split: &split }, &d, &split, &EvalConfig::default());
+        assert_eq!(report.users, split.test_users.len());
+        // Every user's ground truth ranks first: precision@2 is |GT∩top2|/2,
+        // recall@10 should be 1.0 for users with |GT| <= 10.
+        let r10 = report.get(crate::Metric::Recall, 10);
+        assert!(r10 > 0.95, "oracle recall@10 = {r10}");
+        let ndcg10 = report.get(crate::Metric::Ndcg, 10);
+        assert!(ndcg10 > 0.95, "oracle ndcg@10 = {ndcg10}");
+    }
+
+    #[test]
+    fn anti_oracle_scores_zero() {
+        let (d, split) = setup();
+        let report = evaluate(
+            &AntiOracle { split: &split },
+            &d,
+            &split,
+            &EvalConfig::default(),
+        );
+        let r10 = report.get(crate::Metric::Recall, 10);
+        assert!(r10 < 0.05, "anti-oracle recall@10 = {r10}");
+    }
+
+    #[test]
+    fn fixed_seed_gives_identical_candidates_across_methods() {
+        let (d, split) = setup();
+        let cfg = EvalConfig::default();
+        let a = evaluate(&Oracle { split: &split }, &d, &split, &cfg);
+        let b = evaluate(&Oracle { split: &split }, &d, &split, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_scorer_lands_near_chance() {
+        struct Rand;
+        impl Scorer for Rand {
+            fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+                // Deterministic pseudo-random hash scores.
+                pois.iter()
+                    .map(|p| {
+                        let h = (p.0 ^ user.0).wrapping_mul(2654435761);
+                        (h % 1000) as f32 / 1000.0
+                    })
+                    .collect()
+            }
+        }
+        let (d, split) = setup();
+        let report = evaluate(&Rand, &d, &split, &EvalConfig::default());
+        // With ~100 negatives + small GT, random recall@10 ~ 10/(100+|GT|).
+        let r10 = report.get(crate::Metric::Recall, 10);
+        assert!((0.0..0.4).contains(&r10), "random recall@10 = {r10}");
+    }
+
+    #[test]
+    fn candidate_sampler_excludes_truth_and_dedupes() {
+        let pois: Vec<PoiId> = (0..50).map(PoiId).collect();
+        let truth = vec![PoiId(3), PoiId(7)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cands = sample_candidates(&pois, &truth, 20, &mut rng);
+        assert_eq!(cands.len(), 22);
+        let negs = &cands[2..];
+        assert!(!negs.contains(&PoiId(3)));
+        assert!(!negs.contains(&PoiId(7)));
+        let mut sorted = negs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "negatives must be distinct");
+    }
+
+    #[test]
+    fn small_city_clamps_negative_count() {
+        let pois: Vec<PoiId> = (0..5).map(PoiId).collect();
+        let truth = vec![PoiId(0)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cands = sample_candidates(&pois, &truth, 100, &mut rng);
+        assert_eq!(cands.len(), 5); // 1 truth + 4 available negatives
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the geospatial substrate.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use st_geo::{
+    segment_regions, BoundingBox, CellUserIndex, GeoPoint, Grid, RegionDensities, RegionId,
+    SeedOrder,
+};
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (-89.0f64..89.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_a_semimetric(a in point(), b in point(), c in point()) {
+        let ab = a.haversine_km(&b);
+        let ba = b.haversine_km(&a);
+        prop_assert!((ab - ba).abs() < 1e-9, "symmetry");
+        prop_assert!(ab >= 0.0, "non-negativity");
+        // Triangle inequality (with slack for floating point).
+        let ac = a.haversine_km(&c);
+        let cb = c.haversine_km(&b);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle: {ab} > {ac} + {cb}");
+    }
+
+    #[test]
+    fn every_in_box_point_maps_to_a_valid_cell(
+        lat in 0.0f64..9.999, lon in 0.0f64..9.999, n1 in 1usize..20, n2 in 1usize..20
+    ) {
+        let grid = Grid::new(BoundingBox::new(0.0, 10.0, 0.0, 10.0), n1, n2);
+        let cell = grid.cell_of(&GeoPoint::new(lat, lon)).expect("inside");
+        prop_assert!(cell.row < n1 && cell.col < n2);
+        // Flat index roundtrip.
+        prop_assert_eq!(grid.cell_from_flat(grid.flat_index(cell)), cell);
+        // And the cell's centre maps back to the same cell.
+        prop_assert_eq!(grid.cell_of(&grid.cell_center(cell)), Some(cell));
+    }
+
+    /// Algorithm 1 always yields a partition of the visited cells,
+    /// regardless of visitor structure or threshold.
+    #[test]
+    fn segmentation_partitions_visited_cells(
+        seed in 0u64..500, delta in 0.0f64..1.0, n in 2usize..7
+    ) {
+        let grid = Grid::new(BoundingBox::new(0.0, 1.0, 0.0, 1.0), n, n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut index = CellUserIndex::new(grid.num_cells());
+        use rand::Rng;
+        for cell in 0..grid.num_cells() {
+            for user in 0..6u32 {
+                if rng.gen::<f32>() < 0.4 {
+                    index.record(cell, user);
+                }
+            }
+        }
+        let seg = segment_regions(&grid, &index, delta, SeedOrder::DenseFirst, &mut rng);
+        // Partition property: every visited cell in exactly one region.
+        let mut assigned = vec![0usize; grid.num_cells()];
+        for region in &seg.regions {
+            prop_assert!(!region.cells.is_empty(), "empty region");
+            for &cell in &region.cells {
+                assigned[cell] += 1;
+            }
+        }
+        for (cell, &count) in assigned.iter().enumerate() {
+            if index.user_count(cell) > 0 {
+                prop_assert_eq!(count, 1, "cell {} in {} regions", cell, count);
+            } else {
+                prop_assert_eq!(count, 0);
+                prop_assert!(seg.region_of_cell(cell).is_none());
+            }
+        }
+    }
+
+    /// Eq. 5 distance is within [0, 1] and 1 on identical visitor sets.
+    #[test]
+    fn accessibility_distance_is_bounded(users_a in proptest::collection::vec(0u32..20, 1..10)) {
+        let mut index = CellUserIndex::new(2);
+        for &u in &users_a {
+            index.record(0, u);
+            index.record(1, u);
+        }
+        let d = index.distance(0, 1);
+        prop_assert!((d - 1.0).abs() < 1e-12, "identical sets must have dis 1.0");
+        // Drop overlap: add unique users to cell 1.
+        let mut index2 = CellUserIndex::new(2);
+        for &u in &users_a {
+            index2.record(0, u);
+            index2.record(1, u + 1000);
+        }
+        prop_assert_eq!(index2.distance(0, 1), 0.0);
+    }
+
+    /// Eq. 6: after granting every region its quota, densities equalize
+    /// to the max density within rounding error.
+    #[test]
+    fn resample_quota_levels_densities(
+        counts in proptest::collection::vec(0usize..500, 1..8),
+        sizes in proptest::collection::vec(1usize..10, 8)
+    ) {
+        let n = counts.len();
+        let d = RegionDensities::new(counts.clone(), sizes[..n].to_vec());
+        if let Some(rstar) = d.densest() {
+            let target = d.density(rstar);
+            for r in 0..n {
+                let r = RegionId(r);
+                if d.count(r) == 0 { continue; }
+                let post = (d.count(r) + d.resample_quota(r)) as f64 / d.size(r) as f64;
+                prop_assert!(
+                    (post - target).abs() <= 1.0,
+                    "region {:?}: post {post} vs target {target}", r
+                );
+            }
+            // Distribution over regions is a probability vector.
+            let p = d.region_distribution();
+            let total: f64 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9 || total == 0.0);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Parameter checkpointing.
+//!
+//! A [`ParamStore`] serializes to a self-describing binary format so
+//! trained models can be saved and restored without retraining. The
+//! format is deliberately simple and versioned:
+//!
+//! ```text
+//! magic "STPK" | u32 version | u32 count |
+//!   per param: u32 name_len | name bytes | u32 rows | u32 cols | f32 data...
+//! ```
+//!
+//! All integers are little-endian. Loading validates the magic, version
+//! and lengths, and returns typed errors instead of panicking on
+//! corrupted files.
+
+use crate::{Matrix, ParamStore};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"STPK";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint loading.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a checkpoint or is damaged.
+    Corrupt(String),
+    /// A newer/older format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter (name, shape, weights) to `out`.
+pub fn save_params<W: Write>(store: &ParamStore, mut out: W) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        out.write_all(&(name.len() as u32).to_le_bytes())?;
+        out.write_all(name.as_bytes())?;
+        out.write_all(&(value.rows() as u32).to_le_bytes())?;
+        out.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &x in value.as_slice() {
+            out.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint into a fresh [`ParamStore`], preserving parameter
+/// order (so ids match the store that was saved).
+pub fn load_params<R: Read>(mut input: R) -> Result<ParamStore, CheckpointError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic".into()));
+    }
+    let version = read_u32(&mut input)?;
+    if version != VERSION {
+        return Err(CheckpointError::Version(version));
+    }
+    let count = read_u32(&mut input)? as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Corrupt(format!("implausible param count {count}")));
+    }
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut input)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Corrupt("implausible name length".into()));
+        }
+        let mut name = vec![0u8; name_len];
+        input.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| CheckpointError::Corrupt("non-UTF8 parameter name".into()))?;
+        let rows = read_u32(&mut input)? as usize;
+        let cols = read_u32(&mut input)? as usize;
+        let len = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CheckpointError::Corrupt("shape overflow".into()))?;
+        if len > 1 << 30 {
+            return Err(CheckpointError::Corrupt("implausible matrix size".into()));
+        }
+        let mut data = vec![0f32; len];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            input.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        store.register_value(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+fn read_u32<R: Read>(input: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    input.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn sample_store() -> ParamStore {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        store.register("emb", 5, 4, Init::Gaussian { std: 1.0 }, &mut rng);
+        store.register("w", 4, 2, Init::XavierUniform, &mut rng);
+        store.register("b", 1, 2, Init::Zeros, &mut rng);
+        store
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let loaded = load_params(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for ((_, name_a, val_a), (_, name_b, val_b)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(val_a, val_b, "bit-exact weights for {name_a}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = load_params(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        save_params(&sample_store(), &mut buf).unwrap();
+        buf[4] = 99; // clobber version
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Version(99)));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let mut buf = Vec::new();
+        save_params(&sample_store(), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let err = load_params(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Weight initialization schemes.
+//!
+//! The paper initializes parameters "with a Gaussian distribution"; we also
+//! provide Xavier/Glorot initializers, which are standard for the ReLU MLP
+//! tower and make gradient-checking tests better conditioned.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// An initialization scheme for a `rows x cols` parameter matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// All elements set to a constant.
+    Constant(f32),
+    /// Independent Gaussian entries with the given standard deviation
+    /// (mean 0). This is the paper's scheme.
+    Gaussian {
+        /// Standard deviation of each entry.
+        std: f32,
+    },
+    /// Uniform on `[-limit, limit]`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        limit: f32,
+    },
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+}
+
+impl Init {
+    /// Materializes a `rows x cols` matrix using `rng`.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        match self {
+            Init::Zeros => {}
+            Init::Constant(c) => m.map_inplace(|_| c),
+            Init::Gaussian { std } => {
+                for v in m.as_mut_slice() {
+                    *v = std * gaussian(rng);
+                }
+            }
+            Init::Uniform { limit } => {
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(-limit..=limit);
+                }
+            }
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(-limit..=limit);
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Standard normal sample via Box-Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(Init::Zeros.sample(2, 3, &mut rng).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Init::Constant(2.5)
+            .sample(2, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = Init::Gaussian { std: 0.5 }.sample(200, 50, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = Init::XavierUniform.sample(30, 70, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(m.max_abs() <= limit + 1e-6);
+        // Not degenerate: spread should roughly fill the interval.
+        assert!(m.max_abs() > 0.5 * limit);
+    }
+
+    #[test]
+    fn uniform_respects_limit_and_is_seeded_deterministically() {
+        let a = Init::Uniform { limit: 0.1 }.sample(4, 4, &mut SmallRng::seed_from_u64(9));
+        let b = Init::Uniform { limit: 0.1 }.sample(4, 4, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert!(a.max_abs() <= 0.1);
+    }
+}

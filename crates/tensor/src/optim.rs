@@ -1,0 +1,262 @@
+//! First-order optimizers over a [`ParamStore`].
+//!
+//! The paper trains ST-TransRec with Adam; plain SGD is provided for tests
+//! and baselines. Both apply a [`Gradients`] buffer produced by
+//! [`crate::Tape::backward`], skipping parameters that received no
+//! gradient in the step (sparse embedding updates).
+
+use crate::{Gradients, Matrix, ParamId, ParamStore};
+
+/// An optimizer that applies accumulated gradients to parameters.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules / grid searches).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Adds L2 weight decay (applied only to parameters that received
+    /// gradient, keeping embedding updates sparse).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0);
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        for (id, g) in grads.iter() {
+            let p = store.get_mut(id);
+            if self.weight_decay > 0.0 {
+                let wd = self.weight_decay;
+                let lr = self.lr;
+                for (w, &gv) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *w -= lr * (gv + wd * *w);
+                }
+            } else {
+                p.axpy(-self.lr, g);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// First/second moment estimates, allocated lazily per parameter.
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+    /// Per-parameter step counts (bias correction must track how many
+    /// updates each parameter actually received, because embedding rows
+    /// update sparsely).
+    t: Vec<u64>,
+}
+
+impl Adam {
+    /// Creates Adam with the paper-standard betas (0.9, 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: Vec::new(),
+        }
+    }
+
+    /// Overrides the exponential decay rates.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Adds decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0);
+        self.weight_decay = wd;
+        self
+    }
+
+    fn ensure_state(&mut self, id: ParamId, shape: (usize, usize)) {
+        let idx = id.index();
+        if self.m.len() <= idx {
+            self.m.resize(idx + 1, None);
+            self.v.resize(idx + 1, None);
+            self.t.resize(idx + 1, 0);
+        }
+        if self.m[idx].is_none() {
+            self.m[idx] = Some(Matrix::zeros(shape.0, shape.1));
+            self.v[idx] = Some(Matrix::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
+        for (id, g) in grads.iter() {
+            let shape = store.get(id).shape();
+            assert_eq!(g.shape(), shape, "gradient shape mismatch for {}", store.name(id));
+            self.ensure_state(id, shape);
+            let idx = id.index();
+            self.t[idx] += 1;
+            let t = self.t[idx] as f32;
+            let bc1 = 1.0 - self.beta1.powf(t);
+            let bc2 = 1.0 - self.beta2.powf(t);
+
+            let m = self.m[idx].as_mut().expect("state allocated");
+            let v = self.v[idx].as_mut().expect("state allocated");
+            let p = store.get_mut(id);
+            let (lr, b1, b2, eps, wd) =
+                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            for ((w, &gv), (mi, vi)) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gv;
+                *vi = b2 * *vi + (1.0 - b2) * gv * gv;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gradients, Init, Tape};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Minimizes (p - 5)^2 and checks convergence.
+    fn converge(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 1, 1, Init::Constant(0.0), &mut rng);
+        for _ in 0..steps {
+            let mut tape = Tape::new(&store);
+            let v = tape.param(p);
+            let tgt = tape.input(Matrix::scalar(5.0));
+            let d = tape.sub(v, tgt);
+            let sq = tape.mul_elem(d, d);
+            let loss = tape.sum_all(sq);
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            opt.step(&mut store, &grads);
+        }
+        store.get(p).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let p = converge(&mut opt, 200);
+        assert!((p - 5.0).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        let p = converge(&mut opt, 400);
+        assert!((p - 5.0).abs() < 1e-2, "got {p}");
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_weights() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 1, 1, Init::Constant(1.0), &mut rng);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut grads = Gradients::zeros_like(&store);
+        grads.accumulate(p, &Matrix::scalar(0.0));
+        opt.step(&mut store, &grads);
+        // w <- w - lr*(0 + wd*w) = 1 - 0.05 = 0.95
+        assert!((store.get(p).item() - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_skips_untouched_params() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let a = store.register("a", 1, 1, Init::Constant(1.0), &mut rng);
+        let b = store.register("b", 1, 1, Init::Constant(1.0), &mut rng);
+        let mut opt = Adam::new(0.1);
+        let mut grads = Gradients::zeros_like(&store);
+        grads.accumulate(a, &Matrix::scalar(1.0));
+        opt.step(&mut store, &grads);
+        assert!(store.get(a).item() < 1.0, "touched param moved");
+        assert_eq!(store.get(b).item(), 1.0, "untouched param unchanged");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_about_lr() {
+        // With bias correction, |first update| ~= lr regardless of grad scale.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 1, 1, Init::Constant(0.0), &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut grads = Gradients::zeros_like(&store);
+        grads.accumulate(p, &Matrix::scalar(1234.0));
+        opt.step(&mut store, &grads);
+        assert!((store.get(p).item().abs() - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut o = Adam::new(0.5);
+        assert_eq!(o.learning_rate(), 0.5);
+        o.set_learning_rate(0.1);
+        assert_eq!(o.learning_rate(), 0.1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Persistent parameter storage shared across training steps.
+//!
+//! Trainable parameters live in a [`ParamStore`], addressed by the
+//! copyable [`ParamId`] newtype. Each training step builds a fresh
+//! [`crate::Tape`] over the store, runs backward, and collects gradients
+//! into a [`Gradients`] buffer keyed by the same ids, which an optimizer
+//! then applies.
+
+use crate::{Init, Matrix};
+use rand::Rng;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Named, trainable parameter matrices.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter initialized by `init`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> ParamId {
+        self.register_value(name, init.sample(rows, cols, rng))
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn register_value(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Immutable access to a parameter's current value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter's current value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// All ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// True if any parameter contains NaN or infinity.
+    pub fn has_non_finite(&self) -> bool {
+        self.values.iter().any(Matrix::has_non_finite)
+    }
+}
+
+/// Per-parameter gradient accumulator produced by a backward pass.
+///
+/// Gradients are accumulated (summed), so several backward passes over the
+/// same buffer implement loss-term addition for free, and sparse updates
+/// (embedding rows) only touch the rows actually used.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Creates a buffer with a slot per parameter of `store`.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        Self {
+            grads: vec![None; store.len()],
+        }
+    }
+
+    /// The accumulated gradient for `id`, if any backward pass touched it.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Accumulates `delta` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        match &mut self.grads[id.0] {
+            Some(g) => g.axpy(1.0, delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Accumulates a single row `delta_row` into row `row` of the slot,
+    /// creating a zero matrix of shape `(rows, cols)` on first touch.
+    pub fn accumulate_row(
+        &mut self,
+        id: ParamId,
+        rows: usize,
+        cols: usize,
+        row: usize,
+        delta_row: &[f32],
+    ) {
+        let slot = self.grads[id.0].get_or_insert_with(|| Matrix::zeros(rows, cols));
+        debug_assert_eq!(slot.shape(), (rows, cols));
+        for (g, &d) in slot.row_mut(row).iter_mut().zip(delta_row) {
+            *g += d;
+        }
+    }
+
+    /// Scales every accumulated gradient by `c` (e.g. averaging across
+    /// data-parallel workers).
+    pub fn scale(&mut self, c: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.map_inplace(|x| x * c);
+        }
+    }
+
+    /// Merges another gradient buffer into this one (summing).
+    pub fn merge(&mut self, other: &Gradients) {
+        assert_eq!(self.grads.len(), other.grads.len(), "gradient arity mismatch");
+        for (i, g) in other.grads.iter().enumerate() {
+            if let Some(g) = g {
+                self.accumulate(ParamId(i), g);
+            }
+        }
+    }
+
+    /// Iterates over parameters that received gradient.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+
+    /// Global L2 norm over all accumulated gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips by global norm: rescales so the global norm is at most `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn store() -> (ParamStore, ParamId, ParamId) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut s = ParamStore::new();
+        let a = s.register("a", 2, 2, Init::Constant(1.0), &mut rng);
+        let b = s.register("b", 1, 3, Init::Zeros, &mut rng);
+        (s, a, b)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let (s, a, b) = store();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_weights(), 7);
+        assert_eq!(s.name(a), "a");
+        assert_eq!(s.get(b).shape(), (1, 3));
+        assert_eq!(s.ids().count(), 2);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_merge() {
+        let (s, a, b) = store();
+        let mut g1 = Gradients::zeros_like(&s);
+        g1.accumulate(a, &Matrix::full(2, 2, 1.0));
+        g1.accumulate(a, &Matrix::full(2, 2, 2.0));
+        assert!(g1.get(a).unwrap().approx_eq(&Matrix::full(2, 2, 3.0), 0.0));
+        assert!(g1.get(b).is_none());
+
+        let mut g2 = Gradients::zeros_like(&s);
+        g2.accumulate(b, &Matrix::full(1, 3, 5.0));
+        g1.merge(&g2);
+        assert!(g1.get(b).unwrap().approx_eq(&Matrix::full(1, 3, 5.0), 0.0));
+    }
+
+    #[test]
+    fn sparse_row_accumulation() {
+        let (s, a, _) = store();
+        let mut g = Gradients::zeros_like(&s);
+        g.accumulate_row(a, 2, 2, 1, &[1.0, -1.0]);
+        g.accumulate_row(a, 2, 2, 1, &[1.0, 0.0]);
+        let m = g.get(a).unwrap();
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn global_norm_and_clipping() {
+        let (s, a, _) = store();
+        let mut g = Gradients::zeros_like(&s);
+        g.accumulate(a, &Matrix::full(2, 2, 3.0));
+        assert!((g.global_norm() - 6.0).abs() < 1e-6);
+        g.clip_global_norm(3.0);
+        assert!((g.global_norm() - 3.0).abs() < 1e-5);
+        // Clipping below the threshold is a no-op.
+        let before = g.get(a).unwrap().clone();
+        g.clip_global_norm(100.0);
+        assert!(g.get(a).unwrap().approx_eq(&before, 0.0));
+    }
+}

@@ -1,0 +1,718 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] records a computation as a flat list of nodes; every op
+//! method both computes the forward value eagerly and remembers what it
+//! needs for the backward pass. Calling [`Tape::backward`] walks the nodes
+//! in reverse, accumulating parameter gradients into a
+//! [`Gradients`] buffer keyed by [`ParamId`].
+//!
+//! Tapes borrow a [`ParamStore`] immutably, so building a step is:
+//!
+//! ```
+//! use st_tensor::{Init, Matrix, ParamStore, Gradients, Tape};
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", 2, 1, Init::Constant(0.5), &mut rng);
+//!
+//! let mut tape = Tape::new(&store);
+//! let x = tape.input(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+//! let wv = tape.param(w);
+//! let y = tape.matmul(x, wv);
+//! let loss = tape.mean_all(y);
+//!
+//! let mut grads = Gradients::zeros_like(&store);
+//! tape.backward(loss, &mut grads);
+//! assert!(grads.get(w).is_some());
+//! ```
+
+use crate::{Gradients, Matrix, ParamId, ParamStore};
+use rand::Rng;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    /// Constant input; no gradient flows out.
+    Input,
+    /// Dense read of a whole parameter.
+    Param(ParamId),
+    /// Sparse read of selected parameter rows (embedding lookup).
+    GatherParam { pid: ParamId, indices: Vec<usize> },
+    MatMul { a: Var, b: Var },
+    Transpose { a: Var },
+    Add { a: Var, b: Var },
+    Sub { a: Var, b: Var },
+    MulElem { a: Var, b: Var },
+    Scale { a: Var, c: f32 },
+    AddScalar { a: Var },
+    AddRowBroadcast { a: Var, row: Var },
+    AddColBroadcast { a: Var, col: Var },
+    Relu { a: Var },
+    Sigmoid { a: Var },
+    Tanh { a: Var },
+    Exp { a: Var },
+    Ln { a: Var },
+    ConcatCols { a: Var, b: Var },
+    ConcatRows { a: Var, b: Var },
+    SumAll { a: Var },
+    MeanAll { a: Var },
+    SumCols { a: Var },
+    SumRows { a: Var },
+    RowDot { a: Var, b: Var },
+    Dropout { a: Var, mask: Matrix },
+    /// Mean binary cross-entropy over logits, computed numerically stably.
+    BceWithLogits { logits: Var, targets: Matrix },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single forward computation, differentiable in reverse.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    /// Starts a fresh tape over `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self {
+            store,
+            nodes: Vec::with_capacity(64),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- sources -------------------------------------------------------
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Records a dense read of parameter `pid`.
+    pub fn param(&mut self, pid: ParamId) -> Var {
+        self.push(self.store.get(pid).clone(), Op::Param(pid))
+    }
+
+    /// Records an embedding lookup: rows `indices` of parameter `pid`.
+    ///
+    /// The backward pass scatters gradient only into the touched rows,
+    /// which keeps large embedding tables cheap to train.
+    pub fn gather_param(&mut self, pid: ParamId, indices: &[usize]) -> Var {
+        let value = self.store.get(pid).gather_rows(indices);
+        self.push(
+            value,
+            Op::GatherParam {
+                pid,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    // ---- linear algebra --------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul { a, b })
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(value, Op::Transpose { a })
+    }
+
+    /// Elementwise sum of same-shaped operands.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add { a, b })
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub { a, b })
+    }
+
+    /// Elementwise product.
+    pub fn mul_elem(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul_elem(self.value(b));
+        self.push(value, Op::MulElem { a, b })
+    }
+
+    /// Scales all elements by the constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).scale(c);
+        self.push(value, Op::Scale { a, c })
+    }
+
+    /// Adds the constant `c` to all elements.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|x| x + c);
+        self.push(value, Op::AddScalar { a })
+    }
+
+    /// Adds a `1 x m` row vector to each row of an `n x m` matrix (bias add).
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let value = self.value(a).add_row_broadcast(self.value(row));
+        self.push(value, Op::AddRowBroadcast { a, row })
+    }
+
+    /// Adds an `n x 1` column vector to each column of an `n x m` matrix.
+    pub fn add_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let value = self.value(a).add_col_broadcast(self.value(col));
+        self.push(value, Op::AddColBroadcast { a, col })
+    }
+
+    // ---- nonlinearities --------------------------------------------------
+
+    /// `max(0, x)` elementwise.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu { a })
+    }
+
+    /// Logistic sigmoid elementwise.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_sigmoid);
+        self.push(value, Op::Sigmoid { a })
+    }
+
+    /// Hyperbolic tangent elementwise.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh { a })
+    }
+
+    /// `exp(x)` elementwise.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        self.push(value, Op::Exp { a })
+    }
+
+    /// `ln(x)` elementwise. Inputs must be positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::ln);
+        self.push(value, Op::Ln { a })
+    }
+
+    // ---- structure -------------------------------------------------------
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(value, Op::ConcatCols { a, b })
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_rows(self.value(b));
+        self.push(value, Op::ConcatRows { a, b })
+    }
+
+    // ---- reductions ------------------------------------------------------
+
+    /// Sum of all elements, as a `1 x 1` matrix.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::scalar(self.value(a).sum());
+        self.push(value, Op::SumAll { a })
+    }
+
+    /// Mean of all elements, as a `1 x 1` matrix.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::scalar(self.value(a).mean());
+        self.push(value, Op::MeanAll { a })
+    }
+
+    /// Per-row sums (`n x 1`).
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let value = self.value(a).sum_cols();
+        self.push(value, Op::SumCols { a })
+    }
+
+    /// Per-column sums (`1 x m`).
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let value = self.value(a).sum_rows();
+        self.push(value, Op::SumRows { a })
+    }
+
+    /// Rowwise dot products of two same-shaped matrices (`n x 1`).
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).row_dot(self.value(b));
+        self.push(value, Op::RowDot { a, b })
+    }
+
+    // ---- regularization / losses ------------------------------------------
+
+    /// Inverted dropout with keep-probability `1 - p`.
+    ///
+    /// At `p == 0.0` this is the identity (no node is recorded). Kept units
+    /// are scaled by `1/(1-p)` so inference needs no rescaling.
+    pub fn dropout(&mut self, a: Var, p: f32, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        if p == 0.0 {
+            return a;
+        }
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let (r, c) = self.value(a).shape();
+        let mut mask = Matrix::zeros(r, c);
+        for m in mask.as_mut_slice() {
+            if rng.gen::<f32>() < keep {
+                *m = scale;
+            }
+        }
+        let value = self.value(a).mul_elem(&mask);
+        self.push(value, Op::Dropout { a, mask })
+    }
+
+    /// Mean binary cross-entropy between `logits` and `targets`
+    /// (same shape), computed via the numerically stable form
+    /// `max(z,0) - z*t + ln(1 + e^{-|z|})`. Returns a `1 x 1` loss.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Matrix) -> Var {
+        assert_eq!(
+            self.value(logits).shape(),
+            targets.shape(),
+            "bce_with_logits shape mismatch"
+        );
+        assert!(!targets.is_empty(), "bce_with_logits on empty batch");
+        let z = self.value(logits);
+        let mut total = 0.0f64;
+        for (&z, &t) in z.as_slice().iter().zip(targets.as_slice()) {
+            total += (z.max(0.0) - z * t + (-z.abs()).exp().ln_1p()) as f64;
+        }
+        let value = Matrix::scalar((total / targets.len() as f64) as f32);
+        self.push(value, Op::BceWithLogits { logits, targets })
+    }
+
+    // ---- composites -------------------------------------------------------
+
+    /// Affine map `x W + b` where `b` is a `1 x out` bias row.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row_broadcast(xw, b)
+    }
+
+    /// Gaussian kernel matrix `K_ij = exp(-||x_i - y_j||^2 / (2 sigma^2))`
+    /// between the rows of `x` (`n x d`) and `y` (`m x d`).
+    ///
+    /// Built from primitives so gradients flow into both operands:
+    /// `||x_i - y_j||^2 = |x_i|^2 + |y_j|^2 - 2 x_i . y_j`.
+    pub fn gaussian_kernel(&mut self, x: Var, y: Var, sigma: f32) -> Var {
+        assert!(sigma > 0.0, "kernel bandwidth must be positive");
+        let xx = self.mul_elem(x, x);
+        let sx = self.sum_cols(xx); // n x 1
+        let yy = self.mul_elem(y, y);
+        let sy = self.sum_cols(yy); // m x 1
+        let syt = self.transpose(sy); // 1 x m
+        let yt = self.transpose(y);
+        let xyt = self.matmul(x, yt); // n x m
+        let minus2xy = self.scale(xyt, -2.0);
+        let with_rows = self.add_row_broadcast(minus2xy, syt);
+        let sqdist = self.add_col_broadcast(with_rows, sx);
+        let scaled = self.scale(sqdist, -1.0 / (2.0 * sigma * sigma));
+        self.exp(scaled)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar `loss`, accumulating
+    /// parameter gradients into `grads`.
+    ///
+    /// May be called several times on one tape with different scalar roots;
+    /// each call accumulates into `grads` (so summed losses can also be
+    /// differentiated term by term).
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&self, loss: Var, grads: &mut Gradients) {
+        self.backward_scaled(loss, 1.0, grads);
+    }
+
+    /// As [`Tape::backward`], but seeds the root gradient with `seed`
+    /// (differentiating `seed * loss`). Useful for loss-term weights.
+    pub fn backward_scaled(&self, loss: Var, seed: f32, grads: &mut Gradients) {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward root must be a 1x1 scalar"
+        );
+        let mut adj: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        adj[loss.0] = Some(Matrix::scalar(seed));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = adj[i].take() else { continue };
+            self.accumulate_node(i, &g, &mut adj, grads);
+        }
+    }
+
+    fn add_adj(adj: &mut [Option<Matrix>], v: Var, delta: Matrix) {
+        match &mut adj[v.0] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn accumulate_node(
+        &self,
+        i: usize,
+        g: &Matrix,
+        adj: &mut [Option<Matrix>],
+        grads: &mut Gradients,
+    ) {
+        let node = &self.nodes[i];
+        debug_assert_eq!(g.shape(), node.value.shape(), "adjoint shape mismatch");
+        match &node.op {
+            Op::Input => {}
+            Op::Param(pid) => grads.accumulate(*pid, g),
+            Op::GatherParam { pid, indices } => {
+                let (rows, cols) = self.store.get(*pid).shape();
+                for (out_row, &src_row) in indices.iter().enumerate() {
+                    grads.accumulate_row(*pid, rows, cols, src_row, g.row(out_row));
+                }
+            }
+            Op::MatMul { a, b } => {
+                let da = g.matmul_transpose_b(self.value(*b));
+                let db = self.value(*a).matmul_transpose_a(g);
+                Self::add_adj(adj, *a, da);
+                Self::add_adj(adj, *b, db);
+            }
+            Op::Transpose { a } => Self::add_adj(adj, *a, g.transpose()),
+            Op::Add { a, b } => {
+                Self::add_adj(adj, *a, g.clone());
+                Self::add_adj(adj, *b, g.clone());
+            }
+            Op::Sub { a, b } => {
+                Self::add_adj(adj, *a, g.clone());
+                Self::add_adj(adj, *b, g.scale(-1.0));
+            }
+            Op::MulElem { a, b } => {
+                Self::add_adj(adj, *a, g.mul_elem(self.value(*b)));
+                Self::add_adj(adj, *b, g.mul_elem(self.value(*a)));
+            }
+            Op::Scale { a, c } => Self::add_adj(adj, *a, g.scale(*c)),
+            Op::AddScalar { a } => Self::add_adj(adj, *a, g.clone()),
+            Op::AddRowBroadcast { a, row } => {
+                Self::add_adj(adj, *a, g.clone());
+                Self::add_adj(adj, *row, g.sum_rows());
+            }
+            Op::AddColBroadcast { a, col } => {
+                Self::add_adj(adj, *a, g.clone());
+                Self::add_adj(adj, *col, g.sum_cols());
+            }
+            Op::Relu { a } => {
+                let da = g.zip(&node.value, |g, y| if y > 0.0 { g } else { 0.0 });
+                Self::add_adj(adj, *a, da);
+            }
+            Op::Sigmoid { a } => {
+                let da = g.zip(&node.value, |g, y| g * y * (1.0 - y));
+                Self::add_adj(adj, *a, da);
+            }
+            Op::Tanh { a } => {
+                let da = g.zip(&node.value, |g, y| g * (1.0 - y * y));
+                Self::add_adj(adj, *a, da);
+            }
+            Op::Exp { a } => Self::add_adj(adj, *a, g.mul_elem(&node.value)),
+            Op::Ln { a } => {
+                let da = g.zip(self.value(*a), |g, x| g / x);
+                Self::add_adj(adj, *a, da);
+            }
+            Op::ConcatCols { a, b } => {
+                let ca = self.value(*a).cols();
+                let cb = self.value(*b).cols();
+                let rows = g.rows();
+                let mut da = Matrix::zeros(rows, ca);
+                let mut db = Matrix::zeros(rows, cb);
+                for r in 0..rows {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                }
+                Self::add_adj(adj, *a, da);
+                Self::add_adj(adj, *b, db);
+            }
+            Op::ConcatRows { a, b } => {
+                let ra = self.value(*a).rows();
+                let cols = g.cols();
+                let da = Matrix::from_vec(ra, cols, g.as_slice()[..ra * cols].to_vec());
+                let db = Matrix::from_vec(
+                    g.rows() - ra,
+                    cols,
+                    g.as_slice()[ra * cols..].to_vec(),
+                );
+                Self::add_adj(adj, *a, da);
+                Self::add_adj(adj, *b, db);
+            }
+            Op::SumAll { a } => {
+                let (r, c) = self.value(*a).shape();
+                Self::add_adj(adj, *a, Matrix::full(r, c, g.item()));
+            }
+            Op::MeanAll { a } => {
+                let (r, c) = self.value(*a).shape();
+                let scale = g.item() / (r * c) as f32;
+                Self::add_adj(adj, *a, Matrix::full(r, c, scale));
+            }
+            Op::SumCols { a } => {
+                let (r, c) = self.value(*a).shape();
+                let mut da = Matrix::zeros(r, c);
+                for row in 0..r {
+                    let gr = g.as_slice()[row];
+                    for x in da.row_mut(row) {
+                        *x = gr;
+                    }
+                }
+                Self::add_adj(adj, *a, da);
+            }
+            Op::SumRows { a } => {
+                let (r, c) = self.value(*a).shape();
+                let mut da = Matrix::zeros(r, c);
+                for row in 0..r {
+                    da.row_mut(row).copy_from_slice(g.as_slice());
+                }
+                let _ = c;
+                Self::add_adj(adj, *a, da);
+            }
+            Op::RowDot { a, b } => {
+                let da = self.value(*b).mul_col_broadcast(g);
+                let db = self.value(*a).mul_col_broadcast(g);
+                Self::add_adj(adj, *a, da);
+                Self::add_adj(adj, *b, db);
+            }
+            Op::Dropout { a, mask } => Self::add_adj(adj, *a, g.mul_elem(mask)),
+            Op::BceWithLogits { logits, targets } => {
+                let n = targets.len() as f32;
+                let seed = g.item();
+                let da = self
+                    .value(*logits)
+                    .zip(targets, |z, t| seed * (stable_sigmoid(z) - t) / n);
+                Self::add_adj(adj, *logits, da);
+            }
+        }
+    }
+}
+
+impl Matrix {
+    /// Multiplies each row `r` by the scalar `col[r]` (used by `RowDot`'s
+    /// backward pass; lives here to reuse the buffer layout).
+    fn mul_col_broadcast(&self, col: &Matrix) -> Matrix {
+        debug_assert_eq!(col.cols(), 1);
+        debug_assert_eq!(col.rows(), self.rows());
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let c = col.as_slice()[r];
+            for x in out.row_mut(r) {
+                *x *= c;
+            }
+        }
+        out
+    }
+}
+
+/// Overflow-safe logistic sigmoid.
+pub fn stable_sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Init;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert_eq!(stable_sigmoid(0.0), 0.5);
+        assert!((stable_sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(stable_sigmoid(-100.0) < 1e-6);
+        assert!(stable_sigmoid(-1000.0).is_finite());
+        assert!(stable_sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn forward_values_match_matrix_ops() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let a = t.input(Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]));
+        let r = t.relu(a);
+        assert_eq!(t.value(r).as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+        let s = t.sum_all(r);
+        assert_eq!(t.value(s).item(), 4.0);
+    }
+
+    #[test]
+    fn backward_through_matmul_linear() {
+        // loss = mean(x W + b); grads have closed form.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.register("w", 2, 3, Init::Gaussian { std: 0.3 }, &mut rng);
+        let b = store.register("b", 1, 3, Init::Zeros, &mut rng);
+        let x = Matrix::from_vec(4, 2, (0..8).map(|i| i as f32 * 0.25 - 1.0).collect());
+
+        let mut tape = Tape::new(&store);
+        let xv = tape.input(x.clone());
+        let wv = tape.param(w);
+        let bv = tape.param(b);
+        let y = tape.linear(xv, wv, bv);
+        let loss = tape.mean_all(y);
+
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+
+        // d loss / d b_j = 4 rows * (1/12) = 1/3 each.
+        let gb = grads.get(b).unwrap();
+        assert!(gb.approx_eq(&Matrix::full(1, 3, 4.0 / 12.0), 1e-6));
+        // d loss / d W = x^T * (1/12) ones(4,3)
+        let expected = x.matmul_transpose_a(&Matrix::full(4, 3, 1.0 / 12.0));
+        assert!(grads.get(w).unwrap().approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn gather_param_scatters_sparse_gradients() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let table = store.register("emb", 5, 2, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let mut tape = Tape::new(&store);
+        let e = tape.gather_param(table, &[3, 1, 3]);
+        let loss = tape.sum_all(e);
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+
+        let g = grads.get(table).unwrap();
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[1.0, 1.0]);
+        assert_eq!(g.row(3), &[2.0, 2.0], "row 3 gathered twice");
+        assert_eq!(g.row(4), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_naive_formula() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let z = Matrix::column(&[0.5, -1.5, 2.0]);
+        let t = Matrix::column(&[1.0, 0.0, 1.0]);
+        let zv = tape.input(z.clone());
+        let loss = tape.bce_with_logits(zv, t.clone());
+
+        let naive: f32 = z
+            .as_slice()
+            .iter()
+            .zip(t.as_slice())
+            .map(|(&z, &t)| {
+                let p = stable_sigmoid(z);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            })
+            .sum::<f32>()
+            / 3.0;
+        assert!((tape.value(loss).item() - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = tape.input(Matrix::full(2, 2, 1.0));
+        let d = tape.dropout(a, 0.0, &mut rng);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let a = tape.input(Matrix::full(100, 100, 1.0));
+        let d = tape.dropout(a, 0.3, &mut rng);
+        let mean = tape.value(d).mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_kernel_diagonal_is_one_for_identical_rows() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]);
+        let a = tape.input(x.clone());
+        let b = tape.input(x);
+        let k = tape.gaussian_kernel(a, b, 1.0);
+        let kv = tape.value(k);
+        assert!((kv.get(0, 0) - 1.0).abs() < 1e-5);
+        assert!((kv.get(1, 1) - 1.0).abs() < 1e-5);
+        assert!(kv.get(0, 1) < 1.0);
+        // Symmetry for identical inputs.
+        assert!((kv.get(0, 1) - kv.get(1, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_accumulates_across_multiple_roots() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 1, 1, Init::Constant(2.0), &mut rng);
+
+        let mut tape = Tape::new(&store);
+        let v = tape.param(p);
+        let sq = tape.mul_elem(v, v); // p^2, d/dp = 2p = 4
+        let l1 = tape.sum_all(sq);
+        let l2 = tape.sum_all(v); // d/dp = 1
+
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward(l1, &mut grads);
+        tape.backward(l2, &mut grads);
+        assert!((grads.get(p).unwrap().item() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_scaled_weights_the_loss_term() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 1, 1, Init::Constant(3.0), &mut rng);
+        let mut tape = Tape::new(&store);
+        let v = tape.param(p);
+        let l = tape.sum_all(v);
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward_scaled(l, 0.25, &mut grads);
+        assert!((grads.get(p).unwrap().item() - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a 1x1 scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Matrix::zeros(2, 2));
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward(a, &mut grads);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the matrix kernels and autodiff identities.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use st_tensor::{Gradients, Init, Matrix, ParamStore, Tape};
+
+/// Strategy: a matrix of bounded shape with small finite entries.
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f32..3.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Two matrices with matching inner dimension for multiplication.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d)),
+            proptest::collection::vec(-3.0f32..3.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(a in matrix(1..8, 1..8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair()) {
+        // (A B)^T == B^T A^T
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-4));
+    }
+
+    #[test]
+    fn matmul_fused_variants_agree((a, b) in matmul_pair()) {
+        let plain = a.matmul(&b);
+        let via_bt = a.matmul_transpose_b(&b.transpose());
+        let via_at = a.transpose().matmul_transpose_a(&b);
+        prop_assert!(plain.approx_eq(&via_bt, 1e-4));
+        prop_assert!(plain.approx_eq(&via_at, 1e-4));
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a in matrix(1..6, 1..6)) {
+        let b = a.scale(0.5);
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-6));
+        prop_assert!(a.add(&b).sub(&b).approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn concat_cols_preserves_content(a in matrix(1..5, 1..5), scale in -2.0f32..2.0) {
+        let b = a.scale(scale);
+        let cat = a.concat_cols(&b);
+        prop_assert_eq!(cat.cols(), a.cols() * 2);
+        for r in 0..a.rows() {
+            prop_assert_eq!(&cat.row(r)[..a.cols()], a.row(r));
+            prop_assert_eq!(&cat.row(r)[a.cols()..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn reductions_are_consistent(a in matrix(1..6, 1..6)) {
+        let total = a.sum();
+        prop_assert!((a.sum_cols().sum() - total).abs() < 1e-3);
+        prop_assert!((a.sum_rows().sum() - total).abs() < 1e-3);
+        prop_assert!((a.mean() * a.len() as f32 - total).abs() < 1e-3);
+    }
+
+    #[test]
+    fn row_dot_matches_elementwise_sum(a in matrix(1..6, 1..6)) {
+        let b = a.map(|x| x * 0.7 - 0.1);
+        let rd = a.row_dot(&b);
+        let manual = a.mul_elem(&b).sum_cols();
+        prop_assert!(rd.approx_eq(&manual, 1e-4));
+    }
+
+    /// Differentiating a sum of losses equals summing per-loss gradients.
+    #[test]
+    fn backward_is_linear_in_the_loss(seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 3, 3, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let build = |tape: &mut Tape<'_>| {
+            let v = tape.param(p);
+            let sq = tape.mul_elem(v, v);
+            let l1 = tape.sum_all(sq);
+            let s = tape.sigmoid(v);
+            let l2 = tape.mean_all(s);
+            (l1, l2)
+        };
+
+        // Combined: backward from l1 + l2 on one tape.
+        let mut combined = Gradients::zeros_like(&store);
+        {
+            let mut tape = Tape::new(&store);
+            let (l1, l2) = build(&mut tape);
+            let sum = tape.add(l1, l2);
+            tape.backward(sum, &mut combined);
+        }
+        // Separate: two backward calls accumulating.
+        let mut separate = Gradients::zeros_like(&store);
+        {
+            let mut tape = Tape::new(&store);
+            let (l1, l2) = build(&mut tape);
+            tape.backward(l1, &mut separate);
+            tape.backward(l2, &mut separate);
+        }
+        let g1 = combined.get(p).unwrap();
+        let g2 = separate.get(p).unwrap();
+        prop_assert!(g1.approx_eq(g2, 1e-4));
+    }
+
+    /// backward_scaled(c) == c * backward(1).
+    #[test]
+    fn backward_scaling_is_multiplicative(c in 0.1f32..4.0) {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let p = store.register("p", 2, 2, Init::Gaussian { std: 1.0 }, &mut rng);
+        let run = |seed_weight: f32| {
+            let mut grads = Gradients::zeros_like(&store);
+            let mut tape = Tape::new(&store);
+            let v = tape.param(p);
+            let t = tape.tanh(v);
+            let l = tape.sum_all(t);
+            tape.backward_scaled(l, seed_weight, &mut grads);
+            grads.get(p).unwrap().clone()
+        };
+        let unit = run(1.0);
+        let scaled = run(c);
+        prop_assert!(scaled.approx_eq(&unit.scale(c), 1e-4));
+    }
+
+    #[test]
+    fn gather_rows_never_invents_values(rows in 2usize..6, picks in proptest::collection::vec(0usize..6, 1..8)) {
+        let m = Matrix::from_vec(6, rows, (0..6 * rows).map(|i| i as f32).collect());
+        let g = m.gather_rows(&picks);
+        for (out_row, &src) in picks.iter().enumerate() {
+            prop_assert_eq!(g.row(out_row), m.row(src));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Ablation study (Figs. 5-6 in miniature): trains the full model and
+//! each ST-TransRec variant, showing what every component buys.
+//!
+//! Run with: `cargo run --release --example ablation_study`
+
+use st_transrec::prelude::*;
+
+fn main() {
+    let config = synth::SynthConfig::yelp_like().with_scale(0.03);
+    let (dataset, _) = synth::generate(&config);
+    let target = CityId(config.target_city as u16);
+    let split = CrossingCitySplit::build(&dataset, target);
+    let eval_cfg = EvalConfig::default();
+
+    let variants = [
+        (Variant::Full, "ST-TransRec (full)"),
+        (Variant::NoMmd, "ST-TransRec-1 (no MMD transfer)"),
+        (Variant::NoText, "ST-TransRec-2 (no textual context)"),
+        (Variant::NoResample, "ST-TransRec-3 (no resampling)"),
+    ];
+
+    let mut results = Vec::new();
+    for (variant, label) in variants {
+        eprintln!("training {label}...");
+        let mut cfg = ModelConfig::yelp();
+        cfg.epochs = 3;
+        let cfg = cfg.with_variant(variant);
+        let mut model = STTransRec::new(&dataset, &split, cfg);
+        model.fit(&dataset);
+        let report = evaluate(&model, &dataset, &split, &eval_cfg);
+        results.push((label, report));
+    }
+
+    println!("\n{:>36}{:>12}{:>12}", "variant", "Recall@10", "NDCG@10");
+    for (label, report) in &results {
+        println!(
+            "{label:>36}{:>12.4}{:>12.4}",
+            report.get(Metric::Recall, 10),
+            report.get(Metric::Ndcg, 10)
+        );
+    }
+    let full = results[0].1.get(Metric::Ndcg, 10);
+    println!("\nFull-model NDCG@10 improvement over each variant:");
+    for (label, report) in &results[1..] {
+        let theirs = report.get(Metric::Ndcg, 10);
+        println!("  {label}: {:+.2}%", (full - theirs) / theirs.max(1e-9) * 100.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: generate a crossing-city dataset, train ST-TransRec,
+//! evaluate it under the paper's protocol, and print recommendations
+//! for a first-time visitor.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use st_transrec::prelude::*;
+
+fn main() {
+    // A small Yelp-like world: Phoenix (source) and Las Vegas (target).
+    let config = synth::SynthConfig::yelp_like().with_scale(0.03);
+    let (dataset, _) = synth::generate(&config);
+    let target = CityId(config.target_city as u16);
+    println!("Generated: {}", DatasetStats::compute(&dataset, target));
+
+    // Hold out the crossing-city users' target check-ins.
+    let split = CrossingCitySplit::build(&dataset, target);
+    println!(
+        "\n{} crossing-city test users, {} training check-ins\n",
+        split.test_users.len(),
+        split.train.len()
+    );
+
+    // Train the full model (small epochs for a quick demo).
+    let mut model_config = ModelConfig::yelp();
+    model_config.epochs = 3;
+    let mut model = STTransRec::new(&dataset, &split, model_config);
+    for epoch in model.fit(&dataset) {
+        println!(
+            "epoch {}: L_I^s={:.4} L_I^t={:.4} L_G^s={:.4} L_G^t={:.4} MMD={:.4}",
+            epoch.epoch,
+            epoch.losses.interaction_source,
+            epoch.losses.interaction_target,
+            epoch.losses.context_source,
+            epoch.losses.context_target,
+            epoch.losses.mmd,
+        );
+    }
+
+    // Evaluate with the paper's 100-negative ranking protocol.
+    let report = evaluate(&model, &dataset, &split, &EvalConfig::default());
+    println!("\n{report}\n");
+
+    // Top-5 recommendations for the first test user.
+    let user = split.test_users[0];
+    println!("Top-5 Las Vegas recommendations for user {:?}:", user);
+    let truth = split.ground_truth_for(0);
+    for rec in recommend_top_k(&model, &dataset, user, target, 5, &[]) {
+        let poi = dataset.poi(rec.poi);
+        let hit = if truth.contains(&rec.poi) { "  <- ground truth" } else { "" };
+        println!("  {:.3}  {}{hit}", rec.score, poi.name);
+    }
+}

@@ -1,0 +1,67 @@
+//! # st-transrec
+//!
+//! A from-scratch Rust reproduction of **"A Deep Neural Network for
+//! Crossing-City POI Recommendations"** (Li & Gong, TKDE'22 / ICDE'23
+//! extended abstract) — the ST-TransRec model together with every
+//! substrate it needs: a reverse-mode autodiff tensor library, a
+//! geospatial region-clustering layer, calibrated synthetic check-in
+//! datasets, eight comparison baselines, and the paper's full evaluation
+//! protocol.
+//!
+//! This facade crate re-exports the workspace members under stable
+//! module names:
+//!
+//! - [`tensor`] — matrices, autodiff tape, optimizers, NN layers.
+//! - [`geo`] — grids, Algorithm 1 region clustering, densities.
+//! - [`data`] — check-in model, context graph, synthetic generators.
+//! - [`core`] — the ST-TransRec model and its components.
+//! - [`baselines`] — ItemPop, LCE, CRCF, PR-UIDT, ST-LDA, CTLM, SH-CDL,
+//!   PACE.
+//! - [`eval`] — Recall/Precision/NDCG/MAP@k and the ranking protocol.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use st_transrec::prelude::*;
+//!
+//! // Generate a small crossing-city dataset (target = city 1).
+//! let (dataset, _) = synth::generate(&synth::SynthConfig::tiny());
+//! let split = CrossingCitySplit::build(&dataset, CityId(1));
+//!
+//! // Train the full model.
+//! let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+//! model.fit(&dataset);
+//!
+//! // Evaluate under the paper's 100-negative protocol.
+//! let report = evaluate(&model, &dataset, &split, &EvalConfig::default());
+//! println!("{report}");
+//!
+//! // Recommend for a first-time visitor.
+//! let user = split.test_users[0];
+//! for rec in recommend_top_k(&model, &dataset, user, split.target_city, 5, &[]) {
+//!     println!("{:?} score {:.3}", rec.poi, rec.score);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use st_baselines as baselines;
+pub use st_data as data;
+pub use st_eval as eval;
+pub use st_geo as geo;
+pub use st_tensor as tensor;
+pub use st_transrec_core as core;
+
+/// The types most applications need, in one import.
+pub mod prelude {
+    pub use st_data::synth;
+    pub use st_data::{
+        Checkin, City, CityId, CrossingCitySplit, Dataset, DatasetStats, Poi, PoiId,
+        TextualContextGraph, UserId, WordId,
+    };
+    pub use st_eval::{evaluate, EvalConfig, Metric, MetricReport, Scorer};
+    pub use st_transrec_core::{
+        recommend_top_k, CityResampler, MmdEstimator, ModelConfig, ParallelTrainer,
+        Recommendation, STTransRec, Variant,
+    };
+}
