@@ -61,7 +61,12 @@ impl Lce {
         let mut rng = seeded(config.seed);
         let cities: Vec<CityId> = dataset.cities().iter().map(|c| c.id).collect();
         let sampler = InteractionSampler::new(dataset, train, &cities);
-        let mut mf = MfCore::new(dataset.num_users(), dataset.num_pois(), config.dim, &mut rng);
+        let mut mf = MfCore::new(
+            dataset.num_users(),
+            dataset.num_pois(),
+            config.dim,
+            &mut rng,
+        );
         let mut words = Factors::new(dataset.vocab().len().max(1), config.dim, 0.1, &mut rng);
 
         // Flat (poi, word) edge list for content sampling.
@@ -74,14 +79,32 @@ impl Lce {
 
         for _ in 0..config.epochs {
             // Interaction term.
-            let batch = sampler.sample_batch(dataset, config.samples_per_epoch / (1 + config.negatives), config.negatives, &mut rng);
+            let batch = sampler.sample_batch(
+                dataset,
+                config.samples_per_epoch / (1 + config.negatives),
+                config.negatives,
+                &mut rng,
+            );
             for i in 0..batch.len() {
-                mf.sgd_update(batch.users[i], batch.pois[i], batch.labels[i], config.lr, config.reg);
+                mf.sgd_update(
+                    batch.users[i],
+                    batch.pois[i],
+                    batch.labels[i],
+                    config.lr,
+                    config.reg,
+                );
             }
             // Content term: positive edges + uniform negative words.
             for _ in 0..config.samples_per_epoch / (1 + config.negatives) {
                 let &(poi, word) = &edges[rng.gen_range(0..edges.len())];
-                content_update(&mut mf, &mut words, poi as usize, word as usize, 1.0, config);
+                content_update(
+                    &mut mf,
+                    &mut words,
+                    poi as usize,
+                    word as usize,
+                    1.0,
+                    config,
+                );
                 for _ in 0..config.negatives {
                     let neg = rng.gen_range(0..words.count());
                     content_update(&mut mf, &mut words, poi as usize, neg, 0.0, config);

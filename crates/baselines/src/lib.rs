@@ -147,14 +147,24 @@ pub fn fit_method(
                 iterations: gibbs_iters,
                 ..TopicConfig::st_lda()
             };
-            Box::new(TopicModel::fit(dataset, &split.train, split.target_city, &cfg))
+            Box::new(TopicModel::fit(
+                dataset,
+                &split.train,
+                split.target_city,
+                &cfg,
+            ))
         }
         Method::Ctlm => {
             let cfg = TopicConfig {
                 iterations: gibbs_iters,
                 ..TopicConfig::ctlm()
             };
-            Box::new(TopicModel::fit(dataset, &split.train, split.target_city, &cfg))
+            Box::new(TopicModel::fit(
+                dataset,
+                &split.train,
+                split.target_city,
+                &cfg,
+            ))
         }
         Method::ShCdl => {
             let cfg = ShCdlConfig {

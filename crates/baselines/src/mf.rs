@@ -20,9 +20,7 @@ pub struct Factors {
 impl Factors {
     /// `count` rows of dimension `dim`, Gaussian-initialized.
     pub fn new(count: usize, dim: usize, std: f32, rng: &mut SmallRng) -> Self {
-        let data = (0..count * dim)
-            .map(|_| std * gaussian(rng))
-            .collect();
+        let data = (0..count * dim).map(|_| std * gaussian(rng)).collect();
         Self { data, dim }
     }
 
@@ -127,7 +125,8 @@ impl MfCore {
                 let chunk = remaining.min(512);
                 let batch = sampler.sample_batch(dataset, chunk, negatives, rng);
                 for i in 0..batch.len() {
-                    total += self.sgd_update(batch.users[i], batch.pois[i], batch.labels[i], lr, reg);
+                    total +=
+                        self.sgd_update(batch.users[i], batch.pois[i], batch.labels[i], lr, reg);
                     n += 1;
                 }
                 remaining -= chunk;

@@ -158,9 +158,7 @@ fn build_spatial_edges(dataset: &Dataset, radius_km: f64, max_neighbors: usize) 
                         if q == p.id.0 {
                             continue;
                         }
-                        let dist = p
-                            .location
-                            .haversine_km(&dataset.poi(PoiId(q)).location);
+                        let dist = p.location.haversine_km(&dataset.poi(PoiId(q)).location);
                         if dist <= radius_km {
                             neigh.push((dist, q));
                         }

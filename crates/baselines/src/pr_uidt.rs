@@ -197,6 +197,9 @@ mod tests {
         let (d, split) = setup();
         let m = PrUidt::fit(&d, &split.train, &quick());
         let pois = d.pois_in_city(CityId(1));
-        assert_eq!(m.score_batch(UserId(1), pois), m.score_batch(UserId(1), pois));
+        assert_eq!(
+            m.score_batch(UserId(1), pois),
+            m.score_batch(UserId(1), pois)
+        );
     }
 }

@@ -233,8 +233,7 @@ impl TopicModel {
                         if p.words.is_empty() {
                             return 0.0;
                         }
-                        p.words.iter().map(|w| phi[t][w.idx()]).sum::<f64>()
-                            / p.words.len() as f64
+                        p.words.iter().map(|w| phi[t][w.idx()]).sum::<f64>() / p.words.len() as f64
                     })
                     .collect();
                 let total: f64 = raw.iter().sum();

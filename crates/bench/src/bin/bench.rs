@@ -1,0 +1,67 @@
+//! Perf-trajectory benchmark binary.
+//!
+//! Runs the fixed micro + macro suite in [`st_bench::perf`] and writes
+//! the report to `BENCH_PR1.json` at the repo root (override the path
+//! with `ST_BENCH_OUT`, the best-of repetition count with
+//! `ST_BENCH_REPS`). Future perf PRs write `BENCH_PR<n>.json` next to
+//! it, so the files form the project's performance trajectory.
+//!
+//! Build with `--release`: the kernels are written for LLVM
+//! autovectorization and a debug build measures nothing meaningful.
+
+use st_bench::perf;
+use std::path::PathBuf;
+
+fn main() {
+    let reps = std::env::var("ST_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(7);
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json"))
+        });
+
+    eprintln!("running perf suite (best of {reps} reps per micro bench)...");
+    let report = perf::run_suite(reps);
+
+    for k in &report.kernels {
+        eprintln!(
+            "  {:>20} {:>22}  naive {:>8.3} ms  blocked {:>8.3} ms  {:>5.2}x  ({:.2} GFLOP/s)",
+            k.kernel, k.shape, k.naive_ms, k.blocked_ms, k.speedup, k.blocked_gflops
+        );
+    }
+    let m = &report.mmd_step;
+    eprintln!(
+        "  {:>20} n={} d={}  reference {:.3} ms  fused {:.3} ms  {:.2}x  (max div {:.2e})",
+        "mmd_step", m.n, m.d, m.reference_ms, m.fused_ms, m.speedup, m.max_divergence
+    );
+    for e in &report.epochs {
+        eprintln!(
+            "  {:>20} workers={}  {:.1} ms/epoch ({} steps)",
+            "epoch", e.workers, e.wall_ms, e.steps
+        );
+    }
+    let t = &report.topk;
+    eprintln!(
+        "  {:>20} catalog={} threads={}  per-poi {:.2} ms  batched {:.2} ms  sharded {:.2} ms  {:.2}x  identical={}",
+        "topk", t.catalog, t.threads, t.per_poi_ms, t.batched_ms, t.sharded_ms, t.speedup, t.rankings_identical
+    );
+
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: matmul256 {:.2}x, mmd step {:.2}x, rankings identical: {}",
+        a.matmul_256_speedup, a.mmd_step_speedup, a.topk_rankings_identical
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write perf report");
+    eprintln!("wrote {}", out_path.display());
+
+    if a.matmul_256_speedup < 2.0 || a.mmd_step_speedup < 2.0 || !a.topk_rankings_identical {
+        eprintln!("WARNING: acceptance gates not met");
+        std::process::exit(1);
+    }
+}

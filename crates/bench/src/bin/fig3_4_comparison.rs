@@ -2,9 +2,9 @@
 //!
 //! Usage: `fig3_4_comparison [foursquare|yelp]` (default: both).
 
+use st_baselines::Budget;
 use st_bench::experiments::comparison;
 use st_bench::{load, render_metric_table, DatasetKind};
-use st_baselines::Budget;
 
 fn main() {
     let arg = std::env::args().nth(1);

@@ -14,11 +14,7 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_metric_table(
-                &format!("Fig. 9 ({}, dropout)", kind.name()),
-                &rows,
-                &[10]
-            )
+            render_metric_table(&format!("Fig. 9 ({}, dropout)", kind.name()), &rows, &[10])
         );
         let name = format!("fig9_{}", kind.name().to_lowercase());
         let path = st_bench::save_json(&name, &results).expect("write results");

@@ -3,18 +3,20 @@
 
 use crate::experiments::train_and_eval;
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_eval::{Metric, MetricReport};
 use st_transrec_core::Variant;
 
 /// One variant's result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct VariantResult {
     /// Display label ("ST-TransRec", "ST-TransRec-1", ...).
     pub variant: String,
     /// Averaged metrics.
     pub report: MetricReport,
 }
+
+crate::json_object_impl!(VariantResult { variant, report });
 
 /// The paper's variant labels.
 pub fn variant_label(v: Variant) -> &'static str {
@@ -37,7 +39,11 @@ pub fn run(loaded: &Loaded) -> Vec<VariantResult> {
     ]
     .into_iter()
     .map(|v| {
-        eprintln!("[fig5/6] training {} on {}...", variant_label(v), loaded.kind.name());
+        eprintln!(
+            "[fig5/6] training {} on {}...",
+            variant_label(v),
+            loaded.kind.name()
+        );
         let config = loaded.model_config.clone().with_variant(v);
         VariantResult {
             variant: variant_label(v).to_string(),

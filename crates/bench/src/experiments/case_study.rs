@@ -3,12 +3,12 @@
 //! under the full model vs ST-TransRec-2 (no text).
 
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_data::UserId;
 use st_transrec_core::{case_study, CaseStudy, STTransRec, Variant};
 
 /// The two-column case study of Table 3.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// The studied user.
     pub user: u32,
@@ -20,6 +20,13 @@ pub struct Table3 {
     pub no_text: Vec<(String, Vec<String>, bool)>,
 }
 
+crate::json_object_impl!(Table3 {
+    user,
+    profile_words,
+    full_model,
+    no_text,
+});
+
 /// Picks a test user with a rich profile (most training check-ins), in
 /// the spirit of the paper's user #377.
 pub fn pick_user(loaded: &Loaded) -> (usize, UserId) {
@@ -28,14 +35,7 @@ pub fn pick_user(loaded: &Loaded) -> (usize, UserId) {
         .test_users
         .iter()
         .enumerate()
-        .max_by_key(|(_, &u)| {
-            loaded
-                .split
-                .train
-                .iter()
-                .filter(|c| c.user == u)
-                .count()
-        })
+        .max_by_key(|(_, &u)| loaded.split.train.iter().filter(|c| c.user == u).count())
         .map(|(i, &u)| (i, u))
         .expect("at least one test user")
 }

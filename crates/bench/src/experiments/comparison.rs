@@ -3,12 +3,12 @@
 
 use crate::experiments::train_and_eval;
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_baselines::{fit_method, Budget, Method};
 use st_eval::{evaluate, Metric, MetricReport};
 
 /// One method's evaluated report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// Display name.
     pub method: String,
@@ -16,11 +16,17 @@ pub struct MethodResult {
     pub report: MetricReport,
 }
 
+crate::json_object_impl!(MethodResult { method, report });
+
 /// Runs the full comparison on a loaded dataset.
 pub fn run(loaded: &Loaded, budget: Budget) -> Vec<MethodResult> {
     let mut results = Vec::with_capacity(Method::ALL.len() + 1);
     for method in Method::ALL {
-        eprintln!("[fig3/4] fitting {} on {}...", method.name(), loaded.kind.name());
+        eprintln!(
+            "[fig3/4] fitting {} on {}...",
+            method.name(),
+            loaded.kind.name()
+        );
         let scorer = fit_method(
             method,
             &loaded.dataset,
@@ -28,7 +34,12 @@ pub fn run(loaded: &Loaded, budget: Budget) -> Vec<MethodResult> {
             &loaded.model_config,
             budget,
         );
-        let report = evaluate(&*scorer, &loaded.dataset, &loaded.split, &crate::eval_config());
+        let report = evaluate(
+            &*scorer,
+            &loaded.dataset,
+            &loaded.split,
+            &crate::eval_config(),
+        );
         results.push(MethodResult {
             method: method.name().to_string(),
             report,

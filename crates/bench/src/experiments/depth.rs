@@ -4,17 +4,19 @@
 
 use crate::experiments::train_and_eval;
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_eval::MetricReport;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DepthResult {
     /// Number of hidden layers.
     pub depth: usize,
     /// Averaged metrics.
     pub report: MetricReport,
 }
+
+crate::json_object_impl!(DepthResult { depth, report });
 
 /// The paper's grid.
 pub fn paper_grid() -> Vec<usize> {

@@ -4,17 +4,19 @@
 
 use crate::experiments::train_and_eval;
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_eval::MetricReport;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DropoutResult {
     /// Dropout rate trained with.
     pub dropout: f32,
     /// Averaged metrics.
     pub report: MetricReport,
 }
+
+crate::json_object_impl!(DropoutResult { dropout, report });
 
 /// The paper's sweep grid: 0.0 to 0.5.
 pub fn paper_grid() -> Vec<f32> {

@@ -31,5 +31,10 @@ use st_transrec_core::{ModelConfig, STTransRec};
 pub fn train_and_eval(loaded: &Loaded, config: ModelConfig) -> MetricReport {
     let mut model = STTransRec::new(&loaded.dataset, &loaded.split, config);
     model.fit(&loaded.dataset);
-    evaluate(&model, &loaded.dataset, &loaded.split, &crate::eval_config())
+    evaluate(
+        &model,
+        &loaded.dataset,
+        &loaded.split,
+        &crate::eval_config(),
+    )
 }

@@ -4,17 +4,19 @@
 
 use crate::experiments::train_and_eval;
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_eval::MetricReport;
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AlphaResult {
     /// The punishment rate trained with.
     pub alpha: f64,
     /// Averaged metrics.
     pub report: MetricReport,
 }
+
+crate::json_object_impl!(AlphaResult { alpha, report });
 
 /// The paper's sweep grid.
 pub fn paper_grid() -> Vec<f64> {

@@ -5,11 +5,11 @@
 //! the caller passes the environment scale explicitly.
 
 use crate::runner::{load_at, DatasetKind};
-use serde::Serialize;
+
 use st_data::DatasetStats;
 
 /// Paper-reported reference values for one dataset.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PaperStats {
     /// #Users row.
     pub users: usize,
@@ -24,6 +24,15 @@ pub struct PaperStats {
     /// Crossing-city #Check-ins row.
     pub crossing_checkins: usize,
 }
+
+crate::json_object_impl!(PaperStats {
+    users,
+    pois,
+    words,
+    checkins,
+    crossing_users,
+    crossing_checkins,
+});
 
 /// Table 1's published numbers.
 pub fn paper_reference(kind: DatasetKind) -> PaperStats {
@@ -48,7 +57,7 @@ pub fn paper_reference(kind: DatasetKind) -> PaperStats {
 }
 
 /// One dataset's measured-vs-paper rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Dataset name.
     pub dataset: String,
@@ -57,6 +66,12 @@ pub struct Table1Row {
     /// The paper's statistics.
     pub paper: PaperStats,
 }
+
+crate::json_object_impl!(Table1Row {
+    dataset,
+    measured,
+    paper,
+});
 
 /// Generates both datasets at `scale` and collects Table 1.
 pub fn run(scale: f64) -> Vec<Table1Row> {
@@ -89,9 +104,27 @@ pub fn render(rows: &[Table1Row], scale: f64) -> String {
     let mut row = |label: &str, ma: usize, pa: usize, mb: usize, pb: usize| {
         out.push_str(&format!("{label:<22}{ma:>12}{pa:>12}{mb:>12}{pb:>12}\n"));
     };
-    row("#Users", a.measured.users, a.paper.users, b.measured.users, b.paper.users);
-    row("#POIs", a.measured.pois, a.paper.pois, b.measured.pois, b.paper.pois);
-    row("#Words", a.measured.words, a.paper.words, b.measured.words, b.paper.words);
+    row(
+        "#Users",
+        a.measured.users,
+        a.paper.users,
+        b.measured.users,
+        b.paper.users,
+    );
+    row(
+        "#POIs",
+        a.measured.pois,
+        a.paper.pois,
+        b.measured.pois,
+        b.paper.pois,
+    );
+    row(
+        "#Words",
+        a.measured.words,
+        a.paper.words,
+        b.measured.words,
+        b.paper.words,
+    );
     row(
         "#Check-ins",
         a.measured.checkins,

@@ -5,11 +5,11 @@
 //! parallelism; the thread-based trainer reproduces that shape.
 
 use crate::runner::Loaded;
-use serde::Serialize;
+
 use st_transrec_core::{ParallelTrainer, STTransRec};
 
 /// Timing for one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Dataset name.
     pub dataset: String,
@@ -22,6 +22,14 @@ pub struct Table2Row {
     /// Paper's two-GPU seconds.
     pub paper_multi_s: f64,
 }
+
+crate::json_object_impl!(Table2Row {
+    dataset,
+    single_worker_s,
+    two_worker_s,
+    paper_single_s,
+    paper_multi_s,
+});
 
 impl Table2Row {
     /// Measured speedup factor.
@@ -41,11 +49,8 @@ pub fn paper_reference(kind: crate::DatasetKind) -> (f64, f64) {
 /// Times `epochs_to_time` epochs under each worker count and averages.
 pub fn run(loaded: &Loaded, epochs_to_time: usize) -> Table2Row {
     let time_with = |workers: usize| -> f64 {
-        let mut model = STTransRec::new(
-            &loaded.dataset,
-            &loaded.split,
-            loaded.model_config.clone(),
-        );
+        let mut model =
+            STTransRec::new(&loaded.dataset, &loaded.split, loaded.model_config.clone());
         let trainer = ParallelTrainer::new(workers);
         // One warm-up epoch (allocator, caches), then timed epochs.
         trainer.train_epoch(&mut model, &loaded.dataset);

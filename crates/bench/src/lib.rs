@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod perf;
 pub mod runner;
 pub mod table;
 

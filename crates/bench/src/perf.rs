@@ -1,0 +1,558 @@
+//! Perf-trajectory harness: a fixed micro + macro benchmark suite whose
+//! results seed `BENCH_PR*.json` at the repo root.
+//!
+//! The suite pins the three hot paths this codebase optimizes:
+//!
+//! - **Micro — kernels.** GFLOP/s of the blocked matmul family and the
+//!   tiled transpose against their `*_naive` reference kernels, at the
+//!   shapes the interaction tower and MMD layer actually hit.
+//! - **Micro — MMD step.** One full forward + backward of the quadratic
+//!   Gaussian-kernel MMD (Eq. 10) through the fused
+//!   [`st_tensor::Tape::gaussian_kernel`] op versus the composite
+//!   formulation over the naive kernels.
+//! - **Macro — training & serving.** Epoch wall-clock through
+//!   [`st_transrec_core::ParallelTrainer`] at 1..N workers, and
+//!   full-catalog top-k latency through the batched + sharded scoring
+//!   path versus one-tape-per-POI scoring, with a ranking-identity check.
+//!
+//! Timings are best-of-`reps` (minimum over repetitions), which is the
+//! standard way to strip scheduler noise from single-process benches.
+//! Each future perf PR appends a `BENCH_PR<n>.json` beside this one so
+//! the trajectory stays diffable.
+
+use crate::json::{Json, ToJson};
+use crate::json_object_impl;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, PoiId, UserId};
+use st_eval::Scorer;
+use st_tensor::{Gradients, Init, Matrix, ParamStore, Tape};
+use st_transrec_core::{
+    mmd_loss, mmd_loss_reference, recommend_top_k, MmdEstimator, ModelConfig, ParallelTrainer,
+    Recommendation, STTransRec,
+};
+use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall time of `f` (after one untimed warm-up call).
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A deterministic pseudo-random matrix for kernel benches.
+fn bench_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Init::Gaussian { std: 1.0 }.sample(rows, cols, &mut rng)
+}
+
+// ---- micro: kernels --------------------------------------------------------
+
+/// One kernel micro-benchmark: blocked vs. naive at a fixed shape.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Kernel name (`matmul`, `matmul_transpose_a`, ...).
+    pub kernel: String,
+    /// Shape as `m x k x n` (or `rows x cols` for transpose).
+    pub shape: String,
+    /// Best-of-reps naive time in milliseconds.
+    pub naive_ms: f64,
+    /// Best-of-reps blocked time in milliseconds.
+    pub blocked_ms: f64,
+    /// `naive_ms / blocked_ms`.
+    pub speedup: f64,
+    /// Naive throughput in GFLOP/s (0 for pure-copy kernels).
+    pub naive_gflops: f64,
+    /// Blocked throughput in GFLOP/s (0 for pure-copy kernels).
+    pub blocked_gflops: f64,
+}
+
+json_object_impl!(KernelBench {
+    kernel,
+    shape,
+    naive_ms,
+    blocked_ms,
+    speedup,
+    naive_gflops,
+    blocked_gflops,
+});
+
+fn kernel_bench(
+    kernel: &str,
+    shape: String,
+    flops: f64,
+    reps: usize,
+    naive: impl FnMut(),
+    blocked: impl FnMut(),
+) -> KernelBench {
+    let naive_t = time_best(reps, naive);
+    let blocked_t = time_best(reps, blocked);
+    KernelBench {
+        kernel: kernel.to_string(),
+        shape,
+        naive_ms: ms(naive_t),
+        blocked_ms: ms(blocked_t),
+        speedup: naive_t.as_secs_f64() / blocked_t.as_secs_f64(),
+        naive_gflops: flops / naive_t.as_secs_f64() / 1e9,
+        blocked_gflops: flops / blocked_t.as_secs_f64() / 1e9,
+    }
+}
+
+/// Runs the kernel micro-suite: the matmul family at the NCF tower's and
+/// MMD layer's shapes, plus the tiled transpose.
+pub fn kernel_suite(reps: usize) -> Vec<KernelBench> {
+    let mut out = Vec::new();
+
+    // Square matmuls: the interaction tower's hidden layers live here.
+    for &n in &[64usize, 256, 512] {
+        let a = bench_matrix(n, n, 1);
+        let b = bench_matrix(n, n, 2);
+        let flops = 2.0 * (n as f64).powi(3);
+        out.push(kernel_bench(
+            "matmul",
+            format!("{n}x{n}x{n}"),
+            flops,
+            reps,
+            || {
+                std::hint::black_box(a.matmul_naive(&b));
+            },
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+        ));
+    }
+
+    // Transposed products at the MMD cross-term shape (512 x 64 rows).
+    let x = bench_matrix(512, 64, 3);
+    let y = bench_matrix(512, 64, 4);
+    let flops = 2.0 * 512.0 * 512.0 * 64.0;
+    out.push(kernel_bench(
+        "matmul_transpose_b",
+        "512x64 * (512x64)^T".to_string(),
+        flops,
+        reps,
+        || {
+            std::hint::black_box(x.matmul_transpose_b_naive(&y));
+        },
+        || {
+            std::hint::black_box(x.matmul_transpose_b(&y));
+        },
+    ));
+    let g = bench_matrix(512, 512, 5);
+    let flops = 2.0 * 512.0 * 512.0 * 64.0;
+    out.push(kernel_bench(
+        "matmul_transpose_a",
+        "(512x512)^T * 512x64".to_string(),
+        flops,
+        reps,
+        || {
+            std::hint::black_box(g.matmul_transpose_a_naive(&y));
+        },
+        || {
+            std::hint::black_box(g.matmul_transpose_a(&y));
+        },
+    ));
+
+    let t = bench_matrix(1024, 1024, 6);
+    out.push(kernel_bench(
+        "transpose",
+        "1024x1024".to_string(),
+        0.0,
+        reps,
+        || {
+            std::hint::black_box(t.transpose_naive());
+        },
+        || {
+            std::hint::black_box(t.transpose());
+        },
+    ));
+    out
+}
+
+// ---- micro: MMD step -------------------------------------------------------
+
+/// Fused vs. reference quadratic MMD step (forward + backward).
+#[derive(Debug, Clone)]
+pub struct MmdStepBench {
+    /// Samples per side.
+    pub n: usize,
+    /// Embedding dimension.
+    pub d: usize,
+    /// Gaussian bandwidth.
+    pub sigma: f64,
+    /// Reference (composite over naive kernels) step time, ms.
+    pub reference_ms: f64,
+    /// Fused-kernel step time, ms.
+    pub fused_ms: f64,
+    /// `reference_ms / fused_ms`.
+    pub speedup: f64,
+    /// Max |fused - reference| over loss value and both gradients.
+    pub max_divergence: f64,
+}
+
+json_object_impl!(MmdStepBench {
+    n,
+    d,
+    sigma,
+    reference_ms,
+    fused_ms,
+    speedup,
+    max_divergence,
+});
+
+/// Times one quadratic-MMD training step (forward + backward on `n x d`
+/// batches per side) through the fused path and the reference path.
+pub fn mmd_step_suite(n: usize, d: usize, reps: usize) -> MmdStepBench {
+    let sigma = 1.0f32;
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let s = store.register("s", n, d, Init::Gaussian { std: 1.0 }, &mut rng);
+    let t = store.register("t", n, d, Init::Gaussian { std: 1.0 }, &mut rng);
+
+    let step = |fused: bool| -> (f32, Gradients) {
+        let mut tape = Tape::new(&store);
+        let a = tape.param(s);
+        let b = tape.param(t);
+        let loss = if fused {
+            mmd_loss(&mut tape, a, b, sigma, MmdEstimator::Quadratic)
+        } else {
+            mmd_loss_reference(&mut tape, a, b, sigma, MmdEstimator::Quadratic)
+        };
+        let v = tape.value(loss).item();
+        let mut grads = Gradients::zeros_like(&store);
+        tape.backward(loss, &mut grads);
+        (v, grads)
+    };
+
+    // Numerical agreement first, so the speedup is over equivalent work.
+    let (vf, gf) = step(true);
+    let (vr, gr) = step(false);
+    let mut div = (vf - vr).abs();
+    for pid in [s, t] {
+        let a = gf.get(pid).expect("fused grad");
+        let b = gr.get(pid).expect("reference grad");
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            div = div.max((x - y).abs());
+        }
+    }
+
+    let fused_t = time_best(reps, || {
+        std::hint::black_box(step(true));
+    });
+    let reference_t = time_best(reps, || {
+        std::hint::black_box(step(false));
+    });
+    MmdStepBench {
+        n,
+        d,
+        sigma: sigma as f64,
+        reference_ms: ms(reference_t),
+        fused_ms: ms(fused_t),
+        speedup: reference_t.as_secs_f64() / fused_t.as_secs_f64(),
+        max_divergence: div as f64,
+    }
+}
+
+// ---- macro: epoch wall-clock -----------------------------------------------
+
+/// One `ParallelTrainer` epoch measurement.
+#[derive(Debug, Clone)]
+pub struct EpochBench {
+    /// Worker threads.
+    pub workers: usize,
+    /// Epoch wall-clock, ms.
+    pub wall_ms: f64,
+    /// Optimizer steps taken in the epoch.
+    pub steps: usize,
+}
+
+json_object_impl!(EpochBench {
+    workers,
+    wall_ms,
+    steps
+});
+
+/// Times one training epoch per worker count on a synthetic dataset.
+///
+/// Each worker count trains its own freshly seeded model, so the work per
+/// data item is identical and only the parallel schedule differs (Table 2's
+/// setup).
+pub fn epoch_suite(worker_counts: &[usize]) -> Vec<EpochBench> {
+    let cfg = SynthConfig::tiny();
+    let (dataset, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&dataset, CityId(cfg.target_city as u16));
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+            let trainer = ParallelTrainer::new(workers);
+            // Warm-up epoch populates the per-worker pools' shapes.
+            trainer.train_epoch(&mut model, &dataset);
+            let timed = trainer.train_epoch(&mut model, &dataset);
+            EpochBench {
+                workers,
+                wall_ms: ms(timed.wall),
+                steps: timed.stats.steps,
+            }
+        })
+        .collect()
+}
+
+// ---- macro: full-catalog top-k ---------------------------------------------
+
+/// Wraps a scorer so every POI goes through its own single-item batch —
+/// the per-POI baseline the batched path must beat and exactly match.
+struct PerPoi<'a>(&'a STTransRec);
+
+impl Scorer for PerPoi<'_> {
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+        pois.iter().map(|&p| self.0.score(user, p)).collect()
+    }
+}
+
+/// Full-catalog top-k latency: per-POI vs. batched vs. batched + sharded.
+#[derive(Debug, Clone)]
+pub struct TopKBench {
+    /// Candidate-catalog size (POIs in the target city).
+    pub catalog: usize,
+    /// `k` requested.
+    pub k: usize,
+    /// Scoring threads used by the sharded path.
+    pub threads: usize,
+    /// One tape per POI, ms.
+    pub per_poi_ms: f64,
+    /// One batched forward pass, single thread, ms.
+    pub batched_ms: f64,
+    /// Batched + sharded across threads, ms.
+    pub sharded_ms: f64,
+    /// `per_poi_ms / sharded_ms`.
+    pub speedup: f64,
+    /// Whether the batched ranking is bit-identical to the per-POI one.
+    pub rankings_identical: bool,
+}
+
+json_object_impl!(TopKBench {
+    catalog,
+    k,
+    threads,
+    per_poi_ms,
+    batched_ms,
+    sharded_ms,
+    speedup,
+    rankings_identical,
+});
+
+/// Times full-catalog ranking on a Yelp-like synthetic city and checks the
+/// batched ranking against the per-POI reference, element for element.
+pub fn topk_suite(scale: f64, reps: usize) -> TopKBench {
+    let cfg = SynthConfig::yelp_like().with_scale(scale);
+    let (dataset, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&dataset, CityId(cfg.target_city as u16));
+    let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+    model.train_epoch(&dataset);
+
+    let user = split.test_users[0];
+    let city = split.target_city;
+    let catalog = dataset.pois_in_city(city).len();
+    let k = catalog; // full ranking: no truncation slack in the identity check
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let per_poi_scorer = PerPoi(&model);
+    let ranked_per_poi: Vec<Recommendation> =
+        recommend_top_k(&per_poi_scorer, &dataset, user, city, k, &[]);
+    let ranked_batched: Vec<Recommendation> = recommend_top_k(&model, &dataset, user, city, k, &[]);
+    let rankings_identical = ranked_per_poi == ranked_batched;
+
+    let pois = dataset.pois_in_city(city);
+    let per_poi_t = time_best(reps, || {
+        std::hint::black_box(per_poi_scorer.score_batch(user, pois));
+    });
+    let batched_t = time_best(reps, || {
+        std::hint::black_box(model.score_batch(user, pois));
+    });
+    let sharded_t = time_best(reps, || {
+        std::hint::black_box(st_eval::score_sharded(&model, user, pois, threads));
+    });
+
+    TopKBench {
+        catalog,
+        k,
+        threads,
+        per_poi_ms: ms(per_poi_t),
+        batched_ms: ms(batched_t),
+        sharded_ms: ms(sharded_t),
+        speedup: per_poi_t.as_secs_f64() / sharded_t.as_secs_f64(),
+        rankings_identical,
+    }
+}
+
+// ---- report ----------------------------------------------------------------
+
+/// The acceptance gates this PR's benchmarks must clear.
+#[derive(Debug, Clone)]
+pub struct Acceptance {
+    /// Blocked-over-naive speedup on the 256^3 matmul.
+    pub matmul_256_speedup: f64,
+    /// Fused-over-reference speedup on the n=512, d=64 MMD step.
+    pub mmd_step_speedup: f64,
+    /// Batched full-catalog ranking matches per-POI exactly.
+    pub topk_rankings_identical: bool,
+}
+
+json_object_impl!(Acceptance {
+    matmul_256_speedup,
+    mmd_step_speedup,
+    topk_rankings_identical,
+});
+
+/// The full perf report written to `BENCH_PR*.json`.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Which PR produced the report.
+    pub pr: String,
+    /// Hardware threads on the benching host.
+    pub host_threads: usize,
+    /// Kernel micro-suite.
+    pub kernels: Vec<KernelBench>,
+    /// Quadratic MMD step micro-bench.
+    pub mmd_step: MmdStepBench,
+    /// Epoch wall-clock per worker count.
+    pub epochs: Vec<EpochBench>,
+    /// Full-catalog top-k latency.
+    pub topk: TopKBench,
+    /// Acceptance summary.
+    pub acceptance: Acceptance,
+}
+
+json_object_impl!(PerfReport {
+    schema,
+    pr,
+    host_threads,
+    kernels,
+    mmd_step,
+    epochs,
+    topk,
+    acceptance,
+});
+
+/// Runs the whole suite. `reps` is the best-of repetition count for the
+/// micro benches (macro benches run once after a warm-up).
+pub fn run_suite(reps: usize) -> PerfReport {
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let kernels = kernel_suite(reps);
+    let mmd_step = mmd_step_suite(512, 64, reps);
+    let workers: Vec<usize> = [1usize, 2, host_threads]
+        .into_iter()
+        .filter(|&w| w <= host_threads.max(1))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let epochs = epoch_suite(&workers);
+    let topk = topk_suite(0.3, (reps / 2).max(1));
+
+    let matmul_256 = kernels
+        .iter()
+        .find(|k| k.kernel == "matmul" && k.shape.starts_with("256"))
+        .map(|k| k.speedup)
+        .unwrap_or(0.0);
+    let acceptance = Acceptance {
+        matmul_256_speedup: matmul_256,
+        mmd_step_speedup: mmd_step.speedup,
+        topk_rankings_identical: topk.rankings_identical,
+    };
+    PerfReport {
+        schema: "st-transrec-perf/v1".to_string(),
+        pr: "PR1".to_string(),
+        host_threads,
+        kernels,
+        mmd_step,
+        epochs,
+        topk,
+        acceptance,
+    }
+}
+
+impl PerfReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        Json::to_string(&self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_bench_reports_positive_times_and_flops() {
+        let a = bench_matrix(16, 16, 0);
+        let b = bench_matrix(16, 16, 1);
+        let kb = kernel_bench(
+            "matmul",
+            "16x16x16".into(),
+            2.0 * 16f64.powi(3),
+            2,
+            || {
+                std::hint::black_box(a.matmul_naive(&b));
+            },
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+        );
+        assert!(kb.naive_ms > 0.0 && kb.blocked_ms > 0.0);
+        assert!(kb.speedup > 0.0);
+        assert!(kb.blocked_gflops > 0.0);
+    }
+
+    #[test]
+    fn mmd_step_bench_paths_agree_numerically() {
+        let b = mmd_step_suite(32, 8, 1);
+        assert!(b.max_divergence < 1e-4, "divergence {}", b.max_divergence);
+        assert!(b.fused_ms > 0.0 && b.reference_ms > 0.0);
+    }
+
+    #[test]
+    fn topk_suite_rankings_are_identical_on_tiny_catalog() {
+        let b = topk_suite(0.01, 1);
+        assert!(b.rankings_identical);
+        assert!(b.catalog > 0);
+        assert_eq!(b.k, b.catalog);
+    }
+
+    #[test]
+    fn report_serializes_with_schema_tag() {
+        let report = PerfReport {
+            schema: "st-transrec-perf/v1".into(),
+            pr: "PR1".into(),
+            host_threads: 4,
+            kernels: vec![],
+            mmd_step: mmd_step_suite(16, 4, 1),
+            epochs: vec![],
+            topk: topk_suite(0.01, 1),
+            acceptance: Acceptance {
+                matmul_256_speedup: 2.5,
+                mmd_step_speedup: 3.0,
+                topk_rankings_identical: true,
+            },
+        };
+        let text = report.to_json_string();
+        assert!(text.contains("\"schema\": \"st-transrec-perf/v1\""));
+        assert!(text.contains("\"acceptance\""));
+    }
+}

@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn parse_kind() {
         assert_eq!(DatasetKind::parse("yelp"), Some(DatasetKind::Yelp));
-        assert_eq!(DatasetKind::parse("FOURSQUARE"), Some(DatasetKind::Foursquare));
+        assert_eq!(
+            DatasetKind::parse("FOURSQUARE"),
+            Some(DatasetKind::Foursquare)
+        );
         assert_eq!(DatasetKind::parse("netflix"), None);
     }
 

@@ -47,12 +47,14 @@ pub fn render_rows(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) ->
 /// Serializes `value` to `results/<name>.json` (creating the directory),
 /// returning the path written. Errors are surfaced, not swallowed — a
 /// harness run without its artifacts is a failed run.
-pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn save_json<T: crate::json::ToJson>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serializable result");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json().to_string())?;
     Ok(path)
 }
 
@@ -71,7 +73,16 @@ mod tests {
     fn metric_table_contains_all_sections() {
         let rows = vec![("ItemPop".to_string(), dummy_report())];
         let text = render_metric_table("Fig. 3", &rows, &[2, 10]);
-        for needle in ["Fig. 3", "Recall", "Precision", "NDCG", "MAP", "ItemPop", "@2", "@10"] {
+        for needle in [
+            "Fig. 3",
+            "Recall",
+            "Precision",
+            "NDCG",
+            "MAP",
+            "ItemPop",
+            "@2",
+            "@10",
+        ] {
             assert!(text.contains(needle), "missing {needle}:\n{text}");
         }
     }

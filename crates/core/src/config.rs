@@ -1,11 +1,9 @@
 //! Hyperparameter configuration (Sec. 4.1, "Implementation Details") and
 //! the ablation variants of Sec. 4.2.2.
 
-use serde::{Deserialize, Serialize};
-
 /// Which MMD estimator the transfer layer uses (Sec. 3.2 argues for the
 /// linear-time statistic of [16] to reach O(D) per iteration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmdEstimator {
     /// Full quadratic U-statistic over the batch (Eq. 10).
     Quadratic,
@@ -14,7 +12,7 @@ pub enum MmdEstimator {
 }
 
 /// Ablation variants of ST-TransRec (Sec. 4.1, "Baselines").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// The full model.
     Full,
@@ -27,7 +25,7 @@ pub enum Variant {
 }
 
 /// All hyperparameters of ST-TransRec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ModelConfig {
     /// Embedding size for users, POIs and words (64 on Foursquare,
     /// 128 on Yelp).

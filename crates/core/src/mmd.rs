@@ -16,6 +16,12 @@ use st_tensor::{Matrix, Tape, Var};
 /// Builds the differentiable MMD loss between `source` (`ns x d`) and
 /// `target` (`nt x d`) embedding batches on `tape`.
 ///
+/// The quadratic estimator runs through the fused
+/// [`Tape::gaussian_kernel`] op (single pairwise-distance kernel forward,
+/// analytic backward). [`mmd_loss_reference`] is the same statistic built
+/// from tape primitives over the naive matmul kernels, kept as the
+/// differential-test and benchmark baseline.
+///
 /// Returns a `1 x 1` scalar variable. For [`MmdEstimator::Linear`], both
 /// batches are truncated to the same even length.
 ///
@@ -28,15 +34,47 @@ pub fn mmd_loss(
     sigma: f32,
     estimator: MmdEstimator,
 ) -> Var {
+    mmd_loss_impl(tape, source, target, sigma, estimator, true)
+}
+
+/// Reference implementation of [`mmd_loss`]: the quadratic path uses the
+/// composite Gaussian kernel over the naive matmul kernels. Functionally
+/// identical (same statistic, same gradients up to float rounding);
+/// exists so benches and tests can compare the fused path end to end.
+pub fn mmd_loss_reference(
+    tape: &mut Tape<'_>,
+    source: Var,
+    target: Var,
+    sigma: f32,
+    estimator: MmdEstimator,
+) -> Var {
+    mmd_loss_impl(tape, source, target, sigma, estimator, false)
+}
+
+fn mmd_loss_impl(
+    tape: &mut Tape<'_>,
+    source: Var,
+    target: Var,
+    sigma: f32,
+    estimator: MmdEstimator,
+    fused: bool,
+) -> Var {
     let (ns, d) = tape.value(source).shape();
     let (nt, dt) = tape.value(target).shape();
     assert_eq!(d, dt, "embedding dims differ");
     assert!(ns >= 2 && nt >= 2, "MMD needs at least 2 samples per side");
     match estimator {
         MmdEstimator::Quadratic => {
-            let kss = tape.gaussian_kernel(source, source, sigma);
-            let ktt = tape.gaussian_kernel(target, target, sigma);
-            let kst = tape.gaussian_kernel(source, target, sigma);
+            let kernel = |t: &mut Tape<'_>, a: Var, b: Var| {
+                if fused {
+                    t.gaussian_kernel(a, b, sigma)
+                } else {
+                    t.gaussian_kernel_composite(a, b, sigma)
+                }
+            };
+            let kss = kernel(tape, source, source);
+            let ktt = kernel(tape, target, target);
+            let kst = kernel(tape, source, target);
             let mss = tape.mean_all(kss);
             let mtt = tape.mean_all(ktt);
             let mst = tape.mean_all(kst);
@@ -152,7 +190,10 @@ mod tests {
         let near_loss = mmd_loss(&mut tape, a2, b2, 2.0, MmdEstimator::Quadratic);
         let near = tape.value(near_loss).item();
         assert!(far > 0.3, "shifted MMD too small: {far}");
-        assert!(far > 10.0 * near.abs().max(1e-3), "no separation: {far} vs {near}");
+        assert!(
+            far > 10.0 * near.abs().max(1e-3),
+            "no separation: {far} vs {near}"
+        );
     }
 
     #[test]
@@ -195,6 +236,41 @@ mod tests {
             (lin_far - quad_far).abs() < 0.3 * quad_far.max(0.1),
             "linear {lin_far} vs quadratic {quad_far}"
         );
+    }
+
+    #[test]
+    fn fused_quadratic_matches_reference_value_and_gradients() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let s = store.register("s", 12, 5, Init::Gaussian { std: 1.0 }, &mut rng);
+        let t = store.register("t", 10, 5, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let run = |fused: bool| -> (f32, Matrix, Matrix) {
+            let mut tape = Tape::new(&store);
+            let a = tape.param(s);
+            let b = tape.param(t);
+            let loss = if fused {
+                mmd_loss(&mut tape, a, b, 1.1, MmdEstimator::Quadratic)
+            } else {
+                mmd_loss_reference(&mut tape, a, b, 1.1, MmdEstimator::Quadratic)
+            };
+            let v = tape.value(loss).item();
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            (
+                v,
+                grads.get(s).unwrap().clone(),
+                grads.get(t).unwrap().clone(),
+            )
+        };
+        let (vf, gsf, gtf) = run(true);
+        let (vr, gsr, gtr) = run(false);
+        assert!(
+            (vf - vr).abs() < 1e-5,
+            "fused MMD value diverges: {vf} vs {vr}"
+        );
+        assert!(gsf.approx_eq(&gsr, 1e-5), "fused source grads diverge");
+        assert!(gtf.approx_eq(&gtr, 1e-5), "fused target grads diverge");
     }
 
     #[test]
@@ -243,10 +319,7 @@ mod tests {
             opt.step(&mut store, &grads);
         }
         let first = first.unwrap();
-        assert!(
-            last < 0.5 * first,
-            "MMD did not shrink: {first} -> {last}"
-        );
+        assert!(last < 0.5 * first, "MMD did not shrink: {first} -> {last}");
     }
 
     #[test]
@@ -307,7 +380,10 @@ mod median_tests {
         let b = Init::Gaussian { std: 1.0 }.sample(20, 4, &mut rng);
         let s1 = median_heuristic_sigma(&a, &b);
         let s10 = median_heuristic_sigma(&a.scale(10.0), &b.scale(10.0));
-        assert!((s10 / s1 - 10.0).abs() < 0.5, "sigma should scale linearly: {s1} -> {s10}");
+        assert!(
+            (s10 / s1 - 10.0).abs() < 0.5,
+            "sigma should scale linearly: {s1} -> {s10}"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use st_data::{CityId, CrossingCitySplit, Dataset, PoiId, TextualContextGraph, UserId};
 use st_eval::Scorer;
 use st_tensor::{
-    Activation, Adam, Embedding, Gradients, Mlp, Optimizer, ParamStore, Tape,
+    Activation, Adam, Embedding, Gradients, MatrixPool, Mlp, Optimizer, ParamStore, Tape,
 };
 
 /// Loss values of one training step (zero for disabled terms).
@@ -80,6 +80,9 @@ pub struct STTransRec {
     rng: SmallRng,
     steps_per_epoch: usize,
     history: Vec<EpochStats>,
+    /// Buffer pool carried across training steps; in steady state the
+    /// per-step tape allocates nothing.
+    pool: MatrixPool,
 }
 
 impl STTransRec {
@@ -202,6 +205,7 @@ impl STTransRec {
             rng,
             steps_per_epoch,
             history: Vec::new(),
+            pool: MatrixPool::new(),
         }
     }
 
@@ -249,9 +253,24 @@ impl STTransRec {
         grads: &mut Gradients,
         rng: &mut SmallRng,
     ) -> StepLosses {
+        let mut pool = MatrixPool::new();
+        self.accumulate_step_with_pool(dataset, grads, rng, &mut pool)
+    }
+
+    /// As [`STTransRec::accumulate_step`], drawing all tape intermediates
+    /// from `pool` and returning the (grown) pool through it. Callers that
+    /// keep the pool across steps — [`STTransRec::train_step`], the
+    /// parallel trainer's workers — reach an allocation-free steady state.
+    pub fn accumulate_step_with_pool(
+        &self,
+        dataset: &Dataset,
+        grads: &mut Gradients,
+        rng: &mut SmallRng,
+        pool: &mut MatrixPool,
+    ) -> StepLosses {
         let cfg = &self.config;
         let mut losses = StepLosses::default();
-        let mut tape = Tape::new(&self.store);
+        let mut tape = Tape::with_pool(&self.store, std::mem::take(pool));
         let mut roots: Vec<(st_tensor::Var, f32)> = Vec::with_capacity(5);
 
         // L_I^s and L_I^t.
@@ -319,15 +338,19 @@ impl STTransRec {
         for (root, weight) in roots {
             tape.backward_scaled(root, weight, grads);
         }
+        *pool = tape.into_pool();
         losses
     }
 
     /// One optimizer step over the joint objective.
     pub fn train_step(&mut self, dataset: &Dataset) -> StepLosses {
         let mut grads = Gradients::zeros_like(&self.store);
-        // Borrow juggling: accumulate_step needs &self while rng needs &mut.
+        // Borrow juggling: accumulate_step needs &self while rng and the
+        // pool need &mut, so both are moved out for the call.
         let mut rng = SmallRng::seed_from_u64(self.rng.gen());
-        let losses = self.accumulate_step(dataset, &mut grads, &mut rng);
+        let mut pool = std::mem::take(&mut self.pool);
+        let losses = self.accumulate_step_with_pool(dataset, &mut grads, &mut rng, &mut pool);
+        self.pool = pool;
         self.apply(&grads);
         losses
     }
@@ -391,7 +414,10 @@ impl STTransRec {
         }
         let logits = self.tower.forward(tape, x, train, rng);
         let n = batch.labels.len();
-        tape.bce_with_logits(logits, st_tensor::Matrix::from_vec(n, 1, batch.labels.clone()))
+        tape.bce_with_logits(
+            logits,
+            st_tensor::Matrix::from_vec(n, 1, batch.labels.clone()),
+        )
     }
 
     /// Predicted interaction probabilities for `(user, poi)` pairs given
@@ -446,8 +472,7 @@ impl STTransRec {
             }
         }
         // Shapes verified; copy values in.
-        let values: Vec<st_tensor::Matrix> =
-            loaded.iter().map(|(_, _, v)| v.clone()).collect();
+        let values: Vec<st_tensor::Matrix> = loaded.iter().map(|(_, _, v)| v.clone()).collect();
         let ids: Vec<_> = self.store.ids().collect();
         for (id, value) in ids.into_iter().zip(values) {
             *self.store.get_mut(id) = value;
@@ -588,7 +613,9 @@ mod tests {
         let pois = d.pois_in_city(split.target_city);
         let scores = m.score_batch(UserId(0), pois);
         assert_eq!(scores.len(), pois.len());
-        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
+        assert!(scores
+            .iter()
+            .all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
     }
 
     #[test]
@@ -624,11 +651,8 @@ mod tests {
         let m = STTransRec::new(&d, &split, ModelConfig::test_small());
         let mut buf = Vec::new();
         m.save(&mut buf).unwrap();
-        let mut other = STTransRec::new(
-            &d,
-            &split,
-            ModelConfig::test_small().with_embedding_dim(8),
-        );
+        let mut other =
+            STTransRec::new(&d, &split, ModelConfig::test_small().with_embedding_dim(8));
         assert!(other.restore(buf.as_slice()).is_err());
     }
 

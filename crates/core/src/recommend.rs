@@ -7,8 +7,8 @@
 //! recommended POI's top descriptive words.
 
 use st_data::{Checkin, CityId, Dataset, PoiId, UserId, WordId};
-use st_eval::Scorer;
-use std::collections::HashMap;
+use st_eval::{score_sharded, Scorer};
+use std::collections::{HashMap, HashSet};
 
 /// One ranked recommendation.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +21,13 @@ pub struct Recommendation {
 
 /// Scores every POI of `city` for `user` (excluding `exclude`) and
 /// returns the top `k` by score, ties broken by POI id for determinism.
+///
+/// The full catalog is scored as one batch — a single forward pass
+/// through the interaction tower — sharded across all available cores
+/// via [`score_sharded`]. Exclusion is a hash-set probe (catalogs are
+/// thousands of POIs; a linear scan per candidate is quadratic), and the
+/// sort uses [`f32::total_cmp`], so a scorer emitting NaN degrades to a
+/// deterministic order instead of panicking mid-ranking.
 pub fn recommend_top_k(
     scorer: &dyn Scorer,
     dataset: &Dataset,
@@ -30,24 +37,23 @@ pub fn recommend_top_k(
     exclude: &[PoiId],
 ) -> Vec<Recommendation> {
     assert!(k > 0, "k must be positive");
+    let excluded: HashSet<PoiId> = exclude.iter().copied().collect();
     let candidates: Vec<PoiId> = dataset
         .pois_in_city(city)
         .iter()
         .copied()
-        .filter(|p| !exclude.contains(p))
+        .filter(|p| !excluded.contains(p))
         .collect();
-    let scores = scorer.score_batch(user, &candidates);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scores = score_sharded(scorer, user, &candidates, threads);
     let mut ranked: Vec<Recommendation> = candidates
         .into_iter()
         .zip(scores)
         .map(|(poi, score)| Recommendation { poi, score })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .expect("finite scores")
-            .then(a.poi.cmp(&b.poi))
-    });
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.poi.cmp(&b.poi)));
     ranked.truncate(k);
     ranked
 }
@@ -173,6 +179,69 @@ mod tests {
         }
         // All recommendations live in the target city.
         assert!(recs.iter().all(|r| d.poi(r.poi).city == city));
+    }
+
+    #[test]
+    fn nan_scores_degrade_to_deterministic_order_instead_of_panicking() {
+        struct NanScorer;
+        impl Scorer for NanScorer {
+            fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+                pois.iter()
+                    .map(|p| if p.0 % 3 == 0 { f32::NAN } else { p.0 as f32 })
+                    .collect()
+            }
+        }
+        let (d, split) = setup();
+        let a = recommend_top_k(&NanScorer, &d, UserId(0), split.target_city, 5, &[]);
+        let b = recommend_top_k(&NanScorer, &d, UserId(0), split.target_city, 5, &[]);
+        // NaN != NaN, so compare ids and score bit patterns.
+        let key = |r: &[Recommendation]| -> Vec<(PoiId, u32)> {
+            r.iter().map(|x| (x.poi, x.score.to_bits())).collect()
+        };
+        assert_eq!(key(&a), key(&b), "NaN ordering must be deterministic");
+        assert_eq!(a.len(), 5);
+        // total_cmp ranks NaN above every finite value, so NaN-scored POIs
+        // surface first — visibly wrong output rather than a crash.
+        assert!(a[0].score.is_nan());
+    }
+
+    /// Wraps a scorer so every POI is scored through its own single-item
+    /// batch — the slow per-POI path the batched ranking must match.
+    struct PerPoi<S>(S);
+    impl<S: Scorer> Scorer for PerPoi<S> {
+        fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            pois.iter().map(|&p| self.0.score(user, p)).collect()
+        }
+    }
+
+    #[test]
+    fn batched_ranking_is_bit_identical_to_per_poi_scoring() {
+        use crate::{ModelConfig, STTransRec};
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let city = split.target_city;
+        let k = d.pois_in_city(city).len(); // full catalog, no truncation slack
+        for user in split.test_users.iter().take(3) {
+            let batched = recommend_top_k(&m, &d, *user, city, k, &[]);
+            let per_poi = recommend_top_k(&PerPoi(&m), &d, *user, city, k, &[]);
+            assert_eq!(batched, per_poi, "user {user:?}: rankings diverge");
+        }
+    }
+
+    #[test]
+    fn sharded_scoring_matches_single_batch() {
+        use crate::{ModelConfig, STTransRec};
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let user = split.test_users[0];
+        let pois = d.pois_in_city(split.target_city);
+        let single = m.score_batch(user, pois);
+        for threads in [2, 3, 8] {
+            let sharded = st_eval::score_sharded(&m, user, pois, threads);
+            assert_eq!(single, sharded, "{threads} threads");
+        }
     }
 
     #[test]

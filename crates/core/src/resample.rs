@@ -104,7 +104,9 @@ impl CityResampler {
                 continue;
             }
             let loc = &dataset.poi(poi).location;
-            let Some(cell) = grid.cell_of(loc) else { continue };
+            let Some(cell) = grid.cell_of(loc) else {
+                continue;
+            };
             let Some(region) = segmentation.region_of_cell(grid.flat_index(cell)) else {
                 continue;
             };
@@ -182,8 +184,8 @@ impl CityResampler {
     pub fn sample_poi(&self, rng: &mut impl Rng) -> PoiId {
         let raw = self.raw_dist.as_ref().expect("city has no check-ins");
         let total = self.raw_count as f64 + self.resample_mass;
-        let use_resampled = self.resample_mass > 0.0
-            && rng.gen::<f64>() * total >= self.raw_count as f64;
+        let use_resampled =
+            self.resample_mass > 0.0 && rng.gen::<f64>() * total >= self.raw_count as f64;
         if use_resampled {
             if let Some(poi) = self.sample_two_stage(rng) {
                 return poi;
@@ -355,7 +357,10 @@ mod tests {
         let multi = MultiCityResampler::new(vec![r0, r1]);
         assert_eq!(multi.cities().len(), 2);
         let batch = multi.sample_batch(400, &mut rng);
-        let c0 = batch.iter().filter(|&&p| d.poi(p).city == CityId(0)).count();
+        let c0 = batch
+            .iter()
+            .filter(|&&p| d.poi(p).city == CityId(0))
+            .count();
         let c1 = batch.len() - c0;
         assert!(c0 > 50 && c1 > 50, "both cities sampled: {c0}/{c1}");
     }
@@ -372,8 +377,7 @@ mod tests {
         let (d, split) = setup();
         let mut rng = SmallRng::seed_from_u64(5);
         let target = split.target_city;
-        let r_train =
-            CityResampler::build(&d, &split.train, target, 8, 0.1, 0.1, &mut rng);
+        let r_train = CityResampler::build(&d, &split.train, target, 8, 0.1, 0.1, &mut rng);
         let all: Vec<_> = d.checkins().to_vec();
         let r_all = CityResampler::build(&d, &all, target, 8, 0.1, 0.1, &mut rng);
         assert!(r_train.raw_checkins() < r_all.raw_checkins());

@@ -67,15 +67,30 @@ mod tests {
         let (d, g) = setup();
         let mut rng = SmallRng::seed_from_u64(0);
         let mut store = ParamStore::new();
-        let pt = store.register("poi", d.num_pois(), 8, Init::Gaussian { std: 0.01 }, &mut rng);
-        let wt = store.register("word", d.vocab().len(), 8, Init::Gaussian { std: 0.01 }, &mut rng);
+        let pt = store.register(
+            "poi",
+            d.num_pois(),
+            8,
+            Init::Gaussian { std: 0.01 },
+            &mut rng,
+        );
+        let wt = store.register(
+            "word",
+            d.vocab().len(),
+            8,
+            Init::Gaussian { std: 0.01 },
+            &mut rng,
+        );
         let batch = g.sample_batch(64, 3, &mut rng);
         let mut tape = Tape::new(&store);
         let loss = skipgram_loss(&mut tape, pt, wt, &g, &batch);
         let v = tape.value(loss).item();
         assert!(v.is_finite() && v > 0.0);
         // Near-zero embeddings -> logits ~ 0 -> loss ~ ln 2.
-        assert!((v - std::f32::consts::LN_2).abs() < 0.05, "initial loss {v}");
+        assert!(
+            (v - std::f32::consts::LN_2).abs() < 0.05,
+            "initial loss {v}"
+        );
     }
 
     #[test]
@@ -84,7 +99,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut store = ParamStore::new();
         let dim = 16;
-        let pt = store.register("poi", d.num_pois(), dim, Init::Gaussian { std: 0.05 }, &mut rng);
+        let pt = store.register(
+            "poi",
+            d.num_pois(),
+            dim,
+            Init::Gaussian { std: 0.05 },
+            &mut rng,
+        );
         let wt = store.register(
             "word",
             d.vocab().len(),

@@ -1,7 +1,7 @@
 //! Synchronous data-parallel training (Table 2).
 //!
 //! The paper splits each training step across GPUs with data parallelism;
-//! here workers are OS threads (crossbeam scoped), each computing the
+//! here workers are OS threads (std scoped), each computing the
 //! joint gradients on its own mini-batches against the shared, read-only
 //! parameter snapshot. Gradients are averaged and applied once — exactly
 //! the synchronous multi-GPU semantics whose ~2x scaling Table 2 reports.
@@ -10,7 +10,7 @@ use crate::model::{EpochStats, STTransRec, StepLosses};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use st_data::Dataset;
-use st_tensor::Gradients;
+use st_tensor::{Gradients, MatrixPool};
 use std::time::{Duration, Instant};
 
 /// Data-parallel trainer over `workers` threads.
@@ -40,24 +40,41 @@ impl ParallelTrainer {
         dataset: &Dataset,
         master_rng: &mut SmallRng,
     ) -> StepLosses {
+        let mut pools: Vec<MatrixPool> = (0..self.workers).map(|_| MatrixPool::new()).collect();
+        self.step_with_pools(model, dataset, master_rng, &mut pools)
+    }
+
+    /// One synchronous step where worker `i` draws tape buffers from
+    /// `pools[i]`. [`ParallelTrainer::train_epoch`] keeps the pools alive
+    /// across steps so each worker reaches an allocation-free steady state.
+    fn step_with_pools(
+        &self,
+        model: &mut STTransRec,
+        dataset: &Dataset,
+        master_rng: &mut SmallRng,
+        pools: &mut [MatrixPool],
+    ) -> StepLosses {
+        assert_eq!(pools.len(), self.workers, "one pool per worker");
         let seeds: Vec<u64> = (0..self.workers).map(|_| master_rng.gen()).collect();
         let (merged, losses) = {
             let shared: &STTransRec = model;
             if self.workers == 1 {
                 let mut grads = Gradients::zeros_like(shared.params());
                 let mut rng = SmallRng::seed_from_u64(seeds[0]);
-                let losses = shared.accumulate_step(dataset, &mut grads, &mut rng);
+                let losses =
+                    shared.accumulate_step_with_pool(dataset, &mut grads, &mut rng, &mut pools[0]);
                 (grads, vec![losses])
             } else {
-                let results = crossbeam::thread::scope(|scope| {
+                let results = std::thread::scope(|scope| {
                     let handles: Vec<_> = seeds
                         .iter()
-                        .map(|&seed| {
-                            scope.spawn(move |_| {
+                        .zip(pools.iter_mut())
+                        .map(|(&seed, pool)| {
+                            scope.spawn(move || {
                                 let mut grads = Gradients::zeros_like(shared.params());
                                 let mut rng = SmallRng::seed_from_u64(seed);
-                                let losses =
-                                    shared.accumulate_step(dataset, &mut grads, &mut rng);
+                                let losses = shared
+                                    .accumulate_step_with_pool(dataset, &mut grads, &mut rng, pool);
                                 (grads, losses)
                             })
                         })
@@ -66,8 +83,7 @@ impl ParallelTrainer {
                         .into_iter()
                         .map(|h| h.join().expect("worker panicked"))
                         .collect::<Vec<_>>()
-                })
-                .expect("scope failed");
+                });
                 let mut iter = results.into_iter();
                 let (mut merged, first_losses) = iter.next().expect("at least one worker");
                 let mut losses = vec![first_losses];
@@ -89,10 +105,11 @@ impl ParallelTrainer {
     pub fn train_epoch(&self, model: &mut STTransRec, dataset: &Dataset) -> TimedEpoch {
         let steps = (model.steps_per_epoch() / self.workers).max(1);
         let mut master_rng = SmallRng::seed_from_u64(model.config().seed ^ 0x9E3779B97F4A7C15);
+        let mut pools: Vec<MatrixPool> = (0..self.workers).map(|_| MatrixPool::new()).collect();
         let start = Instant::now();
         let mut sum = StepLosses::default();
         for _ in 0..steps {
-            let l = self.train_step(model, dataset, &mut master_rng);
+            let l = self.step_with_pools(model, dataset, &mut master_rng, &mut pools);
             sum.interaction_source += l.interaction_source;
             sum.interaction_target += l.interaction_target;
             sum.context_source += l.context_source;

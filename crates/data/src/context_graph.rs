@@ -5,11 +5,10 @@
 
 use crate::{Dataset, NegativeTable, PoiId, WordId};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Bipartite POI-word context graph restricted to one set of POIs
 /// (ST-TransRec builds one per city side: source and target).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TextualContextGraph {
     /// Member POIs (dense ids into the parent dataset).
     pois: Vec<PoiId>,
@@ -144,7 +143,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         for s in g.sample_batch(200, 3, &mut rng) {
             let words = g.poi_words(s.poi_index);
-            assert!(words.contains(&s.positive), "positive must describe the POI");
+            assert!(
+                words.contains(&s.positive),
+                "positive must describe the POI"
+            );
             assert_eq!(s.negatives.len(), 3);
             for n in &s.negatives {
                 assert!(!words.contains(n), "negative must not describe the POI");
@@ -161,7 +163,11 @@ mod tests {
         for s in g.sample_batch(300, 1, &mut rng) {
             seen.insert((s.poi_index, s.positive));
         }
-        assert_eq!(seen.len(), g.num_edges(), "uniform edge sampling covers all");
+        assert_eq!(
+            seen.len(),
+            g.num_edges(),
+            "uniform edge sampling covers all"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! The check-in dataset with eagerly built secondary indexes.
 
 use crate::{Checkin, City, CityId, Poi, PoiId, UserId, Vocabulary};
-use serde::{Deserialize, Serialize};
 
 /// A complete check-in collection (`D` in Def. 3) with per-user, per-POI
 /// and per-city indexes built at construction time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     cities: Vec<City>,
     pois: Vec<Poi>,
@@ -111,7 +110,9 @@ impl Dataset {
     /// A user's profile `D_u` (Def. 3): their check-ins in time order of
     /// insertion.
     pub fn user_checkins(&self, user: UserId) -> impl Iterator<Item = &Checkin> {
-        self.by_user[user.idx()].iter().map(|&i| &self.checkins[i as usize])
+        self.by_user[user.idx()]
+            .iter()
+            .map(|&i| &self.checkins[i as usize])
     }
 
     /// Number of check-ins by a user.
@@ -121,7 +122,9 @@ impl Dataset {
 
     /// Check-ins at a POI.
     pub fn poi_checkins(&self, poi: PoiId) -> impl Iterator<Item = &Checkin> {
-        self.by_poi[poi.idx()].iter().map(|&i| &self.checkins[i as usize])
+        self.by_poi[poi.idx()]
+            .iter()
+            .map(|&i| &self.checkins[i as usize])
     }
 
     /// Popularity of a POI (its check-in count) — the ItemPop signal.
@@ -225,12 +228,36 @@ pub(crate) mod test_fixtures {
             },
         ];
         let checkins = vec![
-            Checkin { user: UserId(0), poi: PoiId(0), time: 0 },
-            Checkin { user: UserId(0), poi: PoiId(1), time: 1 },
-            Checkin { user: UserId(1), poi: PoiId(2), time: 2 },
-            Checkin { user: UserId(2), poi: PoiId(0), time: 3 },
-            Checkin { user: UserId(2), poi: PoiId(3), time: 4 },
-            Checkin { user: UserId(2), poi: PoiId(0), time: 5 },
+            Checkin {
+                user: UserId(0),
+                poi: PoiId(0),
+                time: 0,
+            },
+            Checkin {
+                user: UserId(0),
+                poi: PoiId(1),
+                time: 1,
+            },
+            Checkin {
+                user: UserId(1),
+                poi: PoiId(2),
+                time: 2,
+            },
+            Checkin {
+                user: UserId(2),
+                poi: PoiId(0),
+                time: 3,
+            },
+            Checkin {
+                user: UserId(2),
+                poi: PoiId(3),
+                time: 4,
+            },
+            Checkin {
+                user: UserId(2),
+                poi: PoiId(0),
+                time: 5,
+            },
         ];
         Dataset::new(cities, pois, vocab, 3, checkins)
     }

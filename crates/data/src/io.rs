@@ -145,7 +145,10 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, IoError> {
                 }
                 let id: u16 = parse(fields[0], line_no, "city id")?;
                 if id as usize != cities.len() {
-                    return Err(malformed(line_no, format!("city ids must be dense; got {id}")));
+                    return Err(malformed(
+                        line_no,
+                        format!("city ids must be dense; got {id}"),
+                    ));
                 }
                 let (min_lat, max_lat): (f64, f64) = (
                     parse(fields[2], line_no, "min_lat")?,
@@ -170,11 +173,17 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, IoError> {
                 }
                 let id: u32 = parse(fields[0], line_no, "poi id")?;
                 if id as usize != pois.len() {
-                    return Err(malformed(line_no, format!("POI ids must be dense; got {id}")));
+                    return Err(malformed(
+                        line_no,
+                        format!("POI ids must be dense; got {id}"),
+                    ));
                 }
                 let city: u16 = parse(fields[1], line_no, "city id")?;
                 if city as usize >= cities.len() {
-                    return Err(malformed(line_no, format!("POI references unknown city {city}")));
+                    return Err(malformed(
+                        line_no,
+                        format!("POI references unknown city {city}"),
+                    ));
                 }
                 let lat: f64 = parse(fields[2], line_no, "lat")?;
                 let lon: f64 = parse(fields[3], line_no, "lon")?;
@@ -206,7 +215,10 @@ pub fn read_dataset<R: BufRead>(input: R) -> Result<Dataset, IoError> {
                 let user: u32 = parse(fields[0], line_no, "user id")?;
                 let poi: u32 = parse(fields[1], line_no, "poi id")?;
                 if poi as usize >= pois.len() {
-                    return Err(malformed(line_no, format!("check-in references unknown POI {poi}")));
+                    return Err(malformed(
+                        line_no,
+                        format!("check-in references unknown POI {poi}"),
+                    ));
                 }
                 let time: u32 = parse(fields[2], line_no, "time")?;
                 max_user = max_user.max(user as i64);

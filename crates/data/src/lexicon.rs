@@ -21,99 +21,239 @@ pub const TOPICS: &[Topic] = &[
     Topic {
         name: "museum",
         shared_words: &[
-            "museum", "art gallery", "exhibit", "sculpture", "paintings", "history",
-            "artifacts", "modern art", "curator", "gallery tour", "installation", "photography",
+            "museum",
+            "art gallery",
+            "exhibit",
+            "sculpture",
+            "paintings",
+            "history",
+            "artifacts",
+            "modern art",
+            "curator",
+            "gallery tour",
+            "installation",
+            "photography",
         ],
     },
     Topic {
         name: "park",
         shared_words: &[
-            "park", "scenic views", "hiking", "trails", "picnic", "gardens",
-            "national park", "wildlife", "lake", "outdoors", "sunset", "playground",
+            "park",
+            "scenic views",
+            "hiking",
+            "trails",
+            "picnic",
+            "gardens",
+            "national park",
+            "wildlife",
+            "lake",
+            "outdoors",
+            "sunset",
+            "playground",
         ],
     },
     Topic {
         name: "theater",
         shared_words: &[
-            "theater", "concert hall", "stage", "live music", "blues", "dancing",
-            "orchestra", "musical", "opera", "rock club", "acoustics", "encore",
+            "theater",
+            "concert hall",
+            "stage",
+            "live music",
+            "blues",
+            "dancing",
+            "orchestra",
+            "musical",
+            "opera",
+            "rock club",
+            "acoustics",
+            "encore",
         ],
     },
     Topic {
         name: "cinema",
         shared_words: &[
-            "cinema", "multiplex", "popcorn", "movies", "premiere", "screening",
-            "imax", "matinee", "caramel corn", "trailers", "blockbuster", "film festival",
+            "cinema",
+            "multiplex",
+            "popcorn",
+            "movies",
+            "premiere",
+            "screening",
+            "imax",
+            "matinee",
+            "caramel corn",
+            "trailers",
+            "blockbuster",
+            "film festival",
         ],
     },
     Topic {
         name: "italian",
         shared_words: &[
-            "italian restaurant", "pizza place", "bakery", "pasta", "cocktails", "espresso",
-            "tiramisu", "risotto", "wine list", "antipasti", "gelato", "portobello fries",
+            "italian restaurant",
+            "pizza place",
+            "bakery",
+            "pasta",
+            "cocktails",
+            "espresso",
+            "tiramisu",
+            "risotto",
+            "wine list",
+            "antipasti",
+            "gelato",
+            "portobello fries",
         ],
     },
     Topic {
         name: "asian",
         shared_words: &[
-            "thai restaurant", "pad thai", "sushi", "ramen", "dim sum", "spicy lime",
-            "noodles", "dumplings", "curry", "wok", "bento", "great thai",
+            "thai restaurant",
+            "pad thai",
+            "sushi",
+            "ramen",
+            "dim sum",
+            "spicy lime",
+            "noodles",
+            "dumplings",
+            "curry",
+            "wok",
+            "bento",
+            "great thai",
         ],
     },
     Topic {
         name: "nightlife",
         shared_words: &[
-            "bar", "nightclub", "craft beer", "whiskey", "rooftop", "happy hour",
-            "dj", "lounge", "speakeasy", "karaoke", "late night", "dance floor",
+            "bar",
+            "nightclub",
+            "craft beer",
+            "whiskey",
+            "rooftop",
+            "happy hour",
+            "dj",
+            "lounge",
+            "speakeasy",
+            "karaoke",
+            "late night",
+            "dance floor",
         ],
     },
     Topic {
         name: "casino",
         shared_words: &[
-            "casino", "poker", "slots", "blackjack", "jackpot", "high roller",
-            "roulette", "betting", "chips", "dealer", "neon", "buffet",
+            "casino",
+            "poker",
+            "slots",
+            "blackjack",
+            "jackpot",
+            "high roller",
+            "roulette",
+            "betting",
+            "chips",
+            "dealer",
+            "neon",
+            "buffet",
         ],
     },
     Topic {
         name: "shopping",
         shared_words: &[
-            "shopping mall", "boutique", "outlet", "fashion", "souvenirs", "market",
-            "vintage", "designer", "arcade", "bookstore", "record shop", "flea market",
+            "shopping mall",
+            "boutique",
+            "outlet",
+            "fashion",
+            "souvenirs",
+            "market",
+            "vintage",
+            "designer",
+            "arcade",
+            "bookstore",
+            "record shop",
+            "flea market",
         ],
     },
     Topic {
         name: "coffee",
         shared_words: &[
-            "coffee shop", "latte", "espresso bar", "pastries", "wifi", "cozy",
-            "cold brew", "croissant", "baristas", "quiet", "brunch", "bagels",
+            "coffee shop",
+            "latte",
+            "espresso bar",
+            "pastries",
+            "wifi",
+            "cozy",
+            "cold brew",
+            "croissant",
+            "baristas",
+            "quiet",
+            "brunch",
+            "bagels",
         ],
     },
     Topic {
         name: "sports",
         shared_words: &[
-            "stadium", "arena", "baseball", "basketball", "tailgate", "season tickets",
-            "scoreboard", "home team", "playoffs", "bleachers", "hot dogs", "jerseys",
+            "stadium",
+            "arena",
+            "baseball",
+            "basketball",
+            "tailgate",
+            "season tickets",
+            "scoreboard",
+            "home team",
+            "playoffs",
+            "bleachers",
+            "hot dogs",
+            "jerseys",
         ],
     },
     Topic {
         name: "historic",
         shared_words: &[
-            "historic site", "landmark", "monument", "architecture", "guided tours", "heritage",
-            "old town", "cathedral", "memorial", "plaza", "walking tour", "cobblestone",
+            "historic site",
+            "landmark",
+            "monument",
+            "architecture",
+            "guided tours",
+            "heritage",
+            "old town",
+            "cathedral",
+            "memorial",
+            "plaza",
+            "walking tour",
+            "cobblestone",
         ],
     },
     Topic {
         name: "hotel",
         shared_words: &[
-            "hotel", "swimming pool", "lobby", "room service", "spa", "concierge",
-            "suites", "valet", "rooftop pool", "check-in", "minibar", "bowling",
+            "hotel",
+            "swimming pool",
+            "lobby",
+            "room service",
+            "spa",
+            "concierge",
+            "suites",
+            "valet",
+            "rooftop pool",
+            "check-in",
+            "minibar",
+            "bowling",
         ],
     },
     Topic {
         name: "transport",
         shared_words: &[
-            "airport", "terminal", "flights", "24-hour", "gates", "layover",
-            "train station", "metro", "departures", "baggage claim", "shuttle", "transit",
+            "airport",
+            "terminal",
+            "flights",
+            "24-hour",
+            "gates",
+            "layover",
+            "train station",
+            "metro",
+            "departures",
+            "baggage claim",
+            "shuttle",
+            "transit",
         ],
     },
 ];

@@ -30,8 +30,8 @@ pub mod synth;
 mod vocab;
 
 pub use context_graph::{ContextSample, TextualContextGraph};
-pub use io::{read_dataset, write_dataset, IoError};
 pub use dataset::Dataset;
+pub use io::{read_dataset, write_dataset, IoError};
 pub use model::{Checkin, City, CityId, Poi, PoiId, UserId, WordId};
 pub use split::CrossingCitySplit;
 pub use stats::DatasetStats;

@@ -1,22 +1,21 @@
 //! Core data model: ids, cities, POIs, and check-in records (Def. 1-3).
 
-use serde::{Deserialize, Serialize};
 use st_geo::{BoundingBox, GeoPoint};
 
 /// A user identifier, dense in `0..num_users`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UserId(pub u32);
 
 /// A POI identifier, dense in `0..num_pois`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PoiId(pub u32);
 
 /// A vocabulary word identifier, dense in `0..num_words`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WordId(pub u32);
 
 /// A city identifier, dense in `0..num_cities`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CityId(pub u16);
 
 impl UserId {
@@ -52,7 +51,7 @@ impl CityId {
 }
 
 /// A city with its geographic extent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct City {
     /// Dense city id.
     pub id: CityId,
@@ -64,7 +63,7 @@ pub struct City {
 
 /// A point of interest with its location and textual description
 /// (Def. 1: the `(v, l_v, W_v, c)` part of a check-in tuple).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Poi {
     /// Dense POI id.
     pub id: PoiId,
@@ -80,7 +79,7 @@ pub struct Poi {
 
 /// A single check-in: user `u` visited POI `v` at ordinal time `t`
 /// (Def. 1; POI attributes live on [`Poi`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkin {
     /// Who checked in.
     pub user: UserId,

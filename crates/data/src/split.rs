@@ -7,10 +7,9 @@
 //! target-city check-ins of non-crossing local users) is training data.
 
 use crate::{Checkin, CityId, Dataset, PoiId, UserId};
-use serde::{Deserialize, Serialize};
 
 /// A crossing-city train/test split over a [`Dataset`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CrossingCitySplit {
     /// The held-out city.
     pub target_city: CityId,
@@ -99,11 +98,7 @@ mod tests {
     fn source_checkins_of_test_users_kept_for_training() {
         let d = tiny_dataset();
         let split = CrossingCitySplit::build(&d, CityId(1));
-        let kept = split
-            .train
-            .iter()
-            .filter(|c| c.user == UserId(2))
-            .count();
+        let kept = split.train.iter().filter(|c| c.user == UserId(2)).count();
         assert_eq!(kept, 2, "both source-city check-ins of user 2 remain");
     }
 

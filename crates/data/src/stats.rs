@@ -1,11 +1,10 @@
 //! Dataset statistics in the shape of the paper's Table 1.
 
 use crate::{CityId, CrossingCitySplit, Dataset};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The rows of Table 1 for one dataset and one target city.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetStats {
     /// Total distinct users.
     pub users: usize,

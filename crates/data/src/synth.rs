@@ -100,11 +100,41 @@ impl SynthConfig {
         Self {
             seed: 0xF05A,
             cities: vec![
-                CitySpec { name: "Los Angeles".into(), center: (34.05, -118.24), extent: 0.25, poi_share: 0.35, user_share: 0.30 },
-                CitySpec { name: "New York".into(), center: (40.71, -74.01), extent: 0.20, poi_share: 0.25, user_share: 0.25 },
-                CitySpec { name: "Chicago".into(), center: (41.88, -87.63), extent: 0.20, poi_share: 0.15, user_share: 0.17 },
-                CitySpec { name: "San Francisco".into(), center: (37.77, -122.42), extent: 0.15, poi_share: 0.13, user_share: 0.15 },
-                CitySpec { name: "Boston".into(), center: (42.36, -71.06), extent: 0.15, poi_share: 0.12, user_share: 0.13 },
+                CitySpec {
+                    name: "Los Angeles".into(),
+                    center: (34.05, -118.24),
+                    extent: 0.25,
+                    poi_share: 0.35,
+                    user_share: 0.30,
+                },
+                CitySpec {
+                    name: "New York".into(),
+                    center: (40.71, -74.01),
+                    extent: 0.20,
+                    poi_share: 0.25,
+                    user_share: 0.25,
+                },
+                CitySpec {
+                    name: "Chicago".into(),
+                    center: (41.88, -87.63),
+                    extent: 0.20,
+                    poi_share: 0.15,
+                    user_share: 0.17,
+                },
+                CitySpec {
+                    name: "San Francisco".into(),
+                    center: (37.77, -122.42),
+                    extent: 0.15,
+                    poi_share: 0.13,
+                    user_share: 0.15,
+                },
+                CitySpec {
+                    name: "Boston".into(),
+                    center: (42.36, -71.06),
+                    extent: 0.15,
+                    poi_share: 0.12,
+                    user_share: 0.13,
+                },
             ],
             target_city: 0,
             users: 3_600,
@@ -129,8 +159,20 @@ impl SynthConfig {
         Self {
             seed: 0x4E1F,
             cities: vec![
-                CitySpec { name: "Phoenix".into(), center: (33.45, -112.07), extent: 0.30, poi_share: 0.50, user_share: 0.55 },
-                CitySpec { name: "Las Vegas".into(), center: (36.17, -115.14), extent: 0.20, poi_share: 0.50, user_share: 0.45 },
+                CitySpec {
+                    name: "Phoenix".into(),
+                    center: (33.45, -112.07),
+                    extent: 0.30,
+                    poi_share: 0.50,
+                    user_share: 0.55,
+                },
+                CitySpec {
+                    name: "Las Vegas".into(),
+                    center: (36.17, -115.14),
+                    extent: 0.20,
+                    poi_share: 0.50,
+                    user_share: 0.45,
+                },
             ],
             target_city: 1,
             users: 9_805,
@@ -154,8 +196,20 @@ impl SynthConfig {
         Self {
             seed: 7,
             cities: vec![
-                CitySpec { name: "Alpha".into(), center: (10.0, 10.0), extent: 0.2, poi_share: 0.5, user_share: 0.5 },
-                CitySpec { name: "Beta".into(), center: (20.0, 20.0), extent: 0.2, poi_share: 0.5, user_share: 0.5 },
+                CitySpec {
+                    name: "Alpha".into(),
+                    center: (10.0, 10.0),
+                    extent: 0.2,
+                    poi_share: 0.5,
+                    user_share: 0.5,
+                },
+                CitySpec {
+                    name: "Beta".into(),
+                    center: (20.0, 20.0),
+                    extent: 0.2,
+                    poi_share: 0.5,
+                    user_share: 0.5,
+                },
             ],
             target_city: 1,
             users: 60,
@@ -253,7 +307,7 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
     let mut city_topic_tilt: Vec<Vec<f64>> = (0..cities.len())
         .map(|_| {
             (0..t)
-                .map(|_| [0.4, 1.0, 1.0, 1.0, 2.5][rng.gen_range(0..5)])
+                .map(|_| [0.4, 1.0, 1.0, 1.0, 2.5][rng.gen_range(0..5usize)])
                 .collect()
         })
         .collect();
@@ -302,8 +356,8 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
                     } else {
                         // Ring placement: marginal districts sit toward the
                         // bbox edges.
-                        let angle = d as f64 / config.districts_per_city as f64
-                            * std::f64::consts::TAU;
+                        let angle =
+                            d as f64 / config.districts_per_city as f64 * std::f64::consts::TAU;
                         let radius = spec.extent * 0.65;
                         GeoPoint::new(
                             spec.center.0 + radius * angle.sin(),
@@ -334,11 +388,24 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
             let center = district_centers[ci][district];
             let sigma = spec.extent * 0.08;
             let location = GeoPoint::new(
-                clamp(center.lat + sigma * gaussian(&mut rng), spec.bbox().min_lat, spec.bbox().max_lat),
-                clamp(center.lon + sigma * gaussian(&mut rng), spec.bbox().min_lon, spec.bbox().max_lon),
+                clamp(
+                    center.lat + sigma * gaussian(&mut rng),
+                    spec.bbox().min_lat,
+                    spec.bbox().max_lat,
+                ),
+                clamp(
+                    center.lon + sigma * gaussian(&mut rng),
+                    spec.bbox().min_lon,
+                    spec.bbox().max_lon,
+                ),
             );
-            let mut words = sample_distinct(&shared_ids[topic], config.shared_words_per_poi, &mut rng);
-            words.extend(sample_distinct(&city_ids[ci][topic], config.city_words_per_poi, &mut rng));
+            let mut words =
+                sample_distinct(&shared_ids[topic], config.shared_words_per_poi, &mut rng);
+            words.extend(sample_distinct(
+                &city_ids[ci][topic],
+                config.city_words_per_poi,
+                &mut rng,
+            ));
             words.sort_unstable();
             words.dedup();
             for &w in &words {
@@ -410,7 +477,10 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
             let j = rng.gen_range(i..pool.len());
             pool.swap(i, j);
         }
-        let mut picked: Vec<UserId> = pool[..config.crossing_users].iter().map(|&u| UserId(u)).collect();
+        let mut picked: Vec<UserId> = pool[..config.crossing_users]
+            .iter()
+            .map(|&u| UserId(u))
+            .collect();
         picked.sort_unstable();
         picked
     };
@@ -444,34 +514,33 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
 
     let mut checkins: Vec<Checkin> = Vec::with_capacity(config.checkins + 3 * config.users);
     let mut time = 0u32;
-    let sample_checkin =
-        |user: u32,
-         samplers: &[PoiSampler],
-         prefs: &[f32],
-         time: &mut u32,
-         rng: &mut SmallRng|
-         -> Option<Checkin> {
-            // Topic ~ preference, restricted to topics present in the city.
-            let avail: Vec<f64> = (0..t)
-                .map(|tp| {
-                    if samplers[tp].is_some() {
-                        prefs[tp] as f64
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            let dist = WeightedIndex::new(&avail).ok()?;
-            let topic = dist.sample(rng);
-            let (ids, widx) = samplers[topic].as_ref()?;
-            let poi = ids[widx.sample(rng)];
-            *time += 1;
-            Some(Checkin {
-                user: UserId(user),
-                poi: PoiId(poi),
-                time: *time,
+    let sample_checkin = |user: u32,
+                          samplers: &[PoiSampler],
+                          prefs: &[f32],
+                          time: &mut u32,
+                          rng: &mut SmallRng|
+     -> Option<Checkin> {
+        // Topic ~ preference, restricted to topics present in the city.
+        let avail: Vec<f64> = (0..t)
+            .map(|tp| {
+                if samplers[tp].is_some() {
+                    prefs[tp] as f64
+                } else {
+                    0.0
+                }
             })
-        };
+            .collect();
+        let dist = WeightedIndex::new(&avail).ok()?;
+        let topic = dist.sample(rng);
+        let (ids, widx) = samplers[topic].as_ref()?;
+        let poi = ids[widx.sample(rng)];
+        *time += 1;
+        Some(Checkin {
+            user: UserId(user),
+            poi: PoiId(poi),
+            time: *time,
+        })
+    };
 
     for u in 0..config.users as u32 {
         let home = user_home[u as usize].idx();
@@ -574,9 +643,7 @@ fn gamma(alpha: f64, rng: &mut SmallRng) -> f64 {
             continue;
         }
         let u: f64 = rng.gen();
-        if u < 1.0 - 0.0331 * x.powi(4)
-            || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-        {
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
             return d * v;
         }
     }
@@ -634,7 +701,11 @@ mod tests {
                 !d.user_visited_in_city(u, target).is_empty(),
                 "crossing user {u:?} has no target check-ins"
             );
-            assert_ne!(meta.user_home[u.idx()], target, "crossing users are non-local");
+            assert_ne!(
+                meta.user_home[u.idx()],
+                target,
+                "crossing users are non-local"
+            );
         }
         // And they are exactly the crossing users the dataset detects.
         let detected = d.crossing_city_users(target);
@@ -675,20 +746,24 @@ mod tests {
     fn district_density_is_imbalanced() {
         // Downtown (district 0) must attract disproportionately many
         // check-ins relative to its POI count — the crux of Sec. 3.1.4.
-        let cfg = SynthConfig::tiny();
-        let (d, meta) = generate(&cfg);
-        let mut checkins_by_district = vec![0usize; cfg.districts_per_city];
-        let mut pois_by_district = vec![0usize; cfg.districts_per_city];
-        for (i, _) in d.pois().iter().enumerate() {
-            pois_by_district[meta.poi_district[i] as usize] += 1;
+        // The per-POI lognormal quality noise is large relative to a
+        // tiny 80-POI dataset, so aggregate over several seeds to test
+        // the structural bias rather than one draw.
+        let base = SynthConfig::tiny();
+        let mut checkins_by_district = vec![0usize; base.districts_per_city];
+        let mut pois_by_district = vec![0usize; base.districts_per_city];
+        for seed in 1..=5 {
+            let cfg = base.clone().with_seed(seed);
+            let (d, meta) = generate(&cfg);
+            for (i, _) in d.pois().iter().enumerate() {
+                pois_by_district[meta.poi_district[i] as usize] += 1;
+            }
+            for c in d.checkins() {
+                checkins_by_district[meta.poi_district[c.poi.idx()] as usize] += 1;
+            }
         }
-        for c in d.checkins() {
-            checkins_by_district[meta.poi_district[c.poi.idx()] as usize] += 1;
-        }
-        let rate = |d: usize| {
-            checkins_by_district[d] as f64 / pois_by_district[d].max(1) as f64
-        };
-        let last = cfg.districts_per_city - 1;
+        let rate = |d: usize| checkins_by_district[d] as f64 / pois_by_district[d].max(1) as f64;
+        let last = base.districts_per_city - 1;
         assert!(
             rate(0) > 1.5 * rate(last),
             "downtown {} vs marginal {}",
@@ -749,7 +824,11 @@ mod tests {
         let (d, _) = generate(&cfg);
         let stats = DatasetStats::compute(&d, CityId(0));
         assert_eq!(stats.users, 360);
-        assert!(stats.crossing_users >= 70, "crossing users {}", stats.crossing_users);
+        assert!(
+            stats.crossing_users >= 70,
+            "crossing users {}",
+            stats.crossing_users
+        );
     }
 
     #[test]
@@ -760,7 +839,10 @@ mod tests {
         let (d, _) = generate(&cfg);
         let stats = DatasetStats::compute(&d, CityId(0));
         let per_user = stats.checkins as f64 / stats.users as f64;
-        assert!((40.0..75.0).contains(&per_user), "check-ins/user {per_user}");
+        assert!(
+            (40.0..75.0).contains(&per_user),
+            "check-ins/user {per_user}"
+        );
         assert!(stats.crossing_fraction() < 0.05);
         assert!(stats.words > 500, "vocabulary too small: {}", stats.words);
     }

@@ -3,11 +3,10 @@
 
 use crate::WordId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An interned word vocabulary with occurrence counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Vocabulary {
     words: Vec<String>,
     counts: Vec<u64>,
@@ -89,7 +88,7 @@ impl Vocabulary {
 ///
 /// Implemented as a cumulative table with binary search: O(log V) per
 /// sample, no aliasing precision issues, and cheap to rebuild.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NegativeTable {
     cumulative: Vec<f64>,
 }
@@ -207,9 +206,7 @@ mod tests {
         v.intern("b");
         let table = v.negative_table(0.0);
         let mut rng = SmallRng::seed_from_u64(1);
-        let hits = (0..2000)
-            .filter(|_| table.sample(&mut rng) == a)
-            .count();
+        let hits = (0..2000).filter(|_| table.sample(&mut rng) == a).count();
         assert!((800..1200).contains(&hits), "a sampled {hits}/2000");
     }
 

@@ -47,7 +47,10 @@ pub fn bootstrap_ci(
 ) -> ConfidenceInterval {
     assert!(!users.is_empty(), "no users to bootstrap");
     assert!(resamples > 0, "need at least one resample");
-    assert!((0.0..1.0).contains(&(1.0 - level)) && level > 0.0, "bad level");
+    assert!(
+        (0.0..1.0).contains(&(1.0 - level)) && level > 0.0,
+        "bad level"
+    );
     let mi = Metric::ALL
         .iter()
         .position(|&m| m == metric)
@@ -129,11 +132,23 @@ mod tests {
 
     #[test]
     fn clearly_above_requires_disjoint_intervals() {
-        let a = ConfidenceInterval { mean: 0.8, lo: 0.7, hi: 0.9 };
-        let b = ConfidenceInterval { mean: 0.5, lo: 0.4, hi: 0.6 };
+        let a = ConfidenceInterval {
+            mean: 0.8,
+            lo: 0.7,
+            hi: 0.9,
+        };
+        let b = ConfidenceInterval {
+            mean: 0.5,
+            lo: 0.4,
+            hi: 0.6,
+        };
         assert!(a.clearly_above(&b));
         assert!(!b.clearly_above(&a));
-        let c = ConfidenceInterval { mean: 0.65, lo: 0.55, hi: 0.75 };
+        let c = ConfidenceInterval {
+            mean: 0.65,
+            lo: 0.55,
+            hi: 0.75,
+        };
         assert!(!a.clearly_above(&c), "overlapping intervals are unresolved");
     }
 

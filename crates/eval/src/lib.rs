@@ -18,4 +18,4 @@ pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
 pub use metrics::{
     metric_at_k, rank_metrics, Metric, MetricAccumulator, MetricReport, UserMetrics,
 };
-pub use protocol::{evaluate, EvalConfig, Scorer};
+pub use protocol::{evaluate, score_sharded, EvalConfig, Scorer};

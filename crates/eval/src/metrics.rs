@@ -4,10 +4,8 @@
 //! cites ([20], Liu et al., VLDB'17): metrics are computed per user over
 //! a ranked candidate list against a ground-truth set, then averaged.
 
-use serde::{Deserialize, Serialize};
-
 /// The four metric families reported in every figure of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Fraction of ground truth retrieved in the top-k.
     Recall,
@@ -93,7 +91,11 @@ pub fn rank_metrics(scores: &[f32], relevant: &[bool], ks: &[usize]) -> UserMetr
     let num_relevant = relevant.iter().filter(|&&r| r).count();
     let values = Metric::ALL
         .iter()
-        .map(|&m| ks.iter().map(|&k| metric_at_k(m, &hits, num_relevant, k)).collect())
+        .map(|&m| {
+            ks.iter()
+                .map(|&k| metric_at_k(m, &hits, num_relevant, k))
+                .collect()
+        })
         .collect();
     UserMetrics {
         ks: ks.to_vec(),
@@ -160,7 +162,7 @@ impl MetricAccumulator {
 }
 
 /// Averaged metrics over all test users — one evaluation run's result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricReport {
     /// Cutoffs evaluated.
     pub ks: Vec<usize>,
@@ -173,7 +175,10 @@ pub struct MetricReport {
 impl MetricReport {
     /// Reads one averaged value.
     pub fn get(&self, metric: Metric, k: usize) -> f64 {
-        let mi = Metric::ALL.iter().position(|&m| m == metric).expect("known metric");
+        let mi = Metric::ALL
+            .iter()
+            .position(|&m| m == metric)
+            .expect("known metric");
         let ki = self
             .ks
             .iter()

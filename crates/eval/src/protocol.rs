@@ -12,7 +12,11 @@ use st_data::{CrossingCitySplit, Dataset, PoiId, UserId};
 ///
 /// `score_batch` is the required method because neural scorers are far
 /// cheaper on batches; `score` is provided for convenience.
-pub trait Scorer {
+///
+/// `Sync` is a supertrait so full-catalog scoring can shard one batch
+/// across scoped threads ([`score_sharded`]); every scorer here is a
+/// read-only view over trained parameters, so this costs nothing.
+pub trait Scorer: Sync {
     /// Scores every POI in `pois` for `user`; higher ranks earlier.
     fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32>;
 
@@ -20,6 +24,48 @@ pub trait Scorer {
     fn score(&self, user: UserId, poi: PoiId) -> f32 {
         self.score_batch(user, &[poi])[0]
     }
+}
+
+/// Minimum per-shard batch below which threading overhead dominates and
+/// [`score_sharded`] falls back to a single batched call.
+const MIN_SHARD: usize = 256;
+
+/// Scores `pois` for `user`, sharding the batch across up to `threads`
+/// scoped worker threads. Results are returned in `pois` order and are
+/// bit-identical to a single `score_batch` call: the scorer sees each
+/// shard as an independent batch, and row-level kernels do not change
+/// their per-row operation order with batch size.
+///
+/// With `threads == 1`, or when the batch is too small to amortize
+/// thread spawning, this is exactly one `score_batch` call.
+pub fn score_sharded(
+    scorer: &dyn Scorer,
+    user: UserId,
+    pois: &[PoiId],
+    threads: usize,
+) -> Vec<f32> {
+    assert!(threads >= 1, "need at least one scoring thread");
+    if threads == 1 || pois.len() < 2 * MIN_SHARD {
+        return scorer.score_batch(user, pois);
+    }
+    let chunk = pois.len().div_ceil(threads).max(MIN_SHARD);
+    let shards: Vec<&[PoiId]> = pois.chunks(chunk).collect();
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| scope.spawn(move || scorer.score_batch(user, shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(pois.len());
+    for shard_scores in results {
+        out.extend(shard_scores);
+    }
+    debug_assert_eq!(out.len(), pois.len());
+    out
 }
 
 impl<S: Scorer + ?Sized> Scorer for &S {
@@ -163,7 +209,12 @@ mod tests {
     #[test]
     fn oracle_achieves_perfect_topk_metrics() {
         let (d, split) = setup();
-        let report = evaluate(&Oracle { split: &split }, &d, &split, &EvalConfig::default());
+        let report = evaluate(
+            &Oracle { split: &split },
+            &d,
+            &split,
+            &EvalConfig::default(),
+        );
         assert_eq!(report.users, split.test_users.len());
         // Every user's ground truth ranks first: precision@2 is |GT∩top2|/2,
         // recall@10 should be 1.0 for users with |GT| <= 10.

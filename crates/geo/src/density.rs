@@ -7,10 +7,9 @@
 //! draws regions proportionally to `rho_{r*} / rho_r` (Eq. 8).
 
 use crate::{Region, RegionId, Segmentation};
-use serde::{Deserialize, Serialize};
 
 /// Densities of every region in one city's segmentation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionDensities {
     /// Check-ins per region (`n_r`).
     counts: Vec<usize>,
@@ -164,7 +163,10 @@ mod tests {
         for r in 0..3 {
             let r = RegionId(r);
             let post = (d.count(r) + d.resample_quota(r)) as f64 / d.size(r) as f64;
-            assert!((post - 5.0).abs() <= 0.5, "rounding keeps density near target");
+            assert!(
+                (post - 5.0).abs() <= 0.5,
+                "rounding keeps density near target"
+            );
         }
     }
 
@@ -209,10 +211,7 @@ mod tests {
     fn from_segmentation_aggregates_cells() {
         use crate::{Region, Segmentation};
         let seg = Segmentation {
-            regions: vec![
-                Region { cells: vec![0, 1] },
-                Region { cells: vec![3] },
-            ],
+            regions: vec![Region { cells: vec![0, 1] }, Region { cells: vec![3] }],
             cell_region: vec![
                 Some(RegionId(0)),
                 Some(RegionId(0)),

@@ -5,10 +5,9 @@
 //! addressed either by `(row, col)` or by a flat index `row * n2 + col`.
 
 use crate::GeoPoint;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned latitude/longitude bounding box.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoundingBox {
     /// Southern edge (minimum latitude).
     pub min_lat: f64,
@@ -59,7 +58,10 @@ impl BoundingBox {
 
     /// True if `p` lies inside (min edges inclusive, max edges exclusive).
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min_lat && p.lat < self.max_lat && p.lon >= self.min_lon && p.lon < self.max_lon
+        p.lat >= self.min_lat
+            && p.lat < self.max_lat
+            && p.lon >= self.min_lon
+            && p.lon < self.max_lon
     }
 
     /// Geographic centre of the box.
@@ -72,7 +74,7 @@ impl BoundingBox {
 }
 
 /// A `(row, col)` cell address within a [`Grid`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridCell {
     /// Row index (latitude direction), `0..n1`.
     pub row: usize,
@@ -81,7 +83,7 @@ pub struct GridCell {
 }
 
 /// A uniform `n1 x n2` grid over a bounding box.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     bbox: BoundingBox,
     n1: usize,
@@ -155,7 +157,8 @@ impl Grid {
         [(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
             .into_iter()
             .filter_map(move |(nr, nc)| {
-                (nr >= 0 && nc >= 0 && (nr as usize) < self.n1 && (nc as usize) < self.n2).then_some(GridCell {
+                (nr >= 0 && nc >= 0 && (nr as usize) < self.n1 && (nc as usize) < self.n2)
+                    .then_some(GridCell {
                         row: nr as usize,
                         col: nc as usize,
                     })

@@ -15,10 +15,9 @@
 
 use crate::Grid;
 use rand::{seq::SliceRandom, Rng};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a region produced by [`segment_regions`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegionId(pub usize);
 
 /// Per-cell visitor sets, the input to Algorithm 1.
@@ -104,7 +103,7 @@ pub enum SeedOrder {
 }
 
 /// A uniformly accessible region: a set of flat cell indices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Region {
     /// Flat indices of member cells, sorted ascending.
     pub cells: Vec<usize>,
@@ -118,7 +117,7 @@ impl Region {
 }
 
 /// The output of Algorithm 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Segmentation {
     /// All regions, in creation order.
     pub regions: Vec<Region>,

@@ -1,0 +1,18 @@
+#[test]
+fn weighted_index_matches_weights() {
+    use rand::distributions::{Distribution, WeightedIndex};
+    use rand::{rngs::SmallRng, SeedableRng};
+    let w = vec![1.0f64, 0.5, 0.25];
+    let d = WeightedIndex::new(&w).unwrap();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut counts = [0usize; 3];
+    for _ in 0..175_000 {
+        counts[d.sample(&mut rng)] += 1;
+    }
+    let total: f64 = 175_000.0;
+    for i in 0..3 {
+        let p = counts[i] as f64 / total;
+        let expect = w[i] / 1.75;
+        assert!((p - expect).abs() < 0.01, "i={i} p={p} expect={expect}");
+    }
+}

@@ -1,0 +1,55 @@
+use st_tensor::Matrix;
+use std::time::Instant;
+fn main() {
+    let n = 256;
+    let a = Matrix::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i * 7 + 3) % 13) as f32 * 0.1 - 0.6)
+            .collect(),
+    );
+    let b = Matrix::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i * 5 + 1) % 11) as f32 * 0.1 - 0.5)
+            .collect(),
+    );
+    let time = |f: &dyn Fn() -> Matrix| {
+        let mut best = f64::MAX;
+        for _ in 0..7 {
+            let t = Instant::now();
+            let m = f();
+            best = best.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(m);
+        }
+        best
+    };
+    let t_naive = time(&|| a.matmul_naive(&b));
+    let t_blocked = time(&|| a.matmul(&b));
+    let tb_naive = time(&|| a.matmul_transpose_b_naive(&b));
+    let tb_blocked = time(&|| a.matmul_transpose_b(&b));
+    let ta_naive = time(&|| a.matmul_transpose_a_naive(&b));
+    let ta_blocked = time(&|| a.matmul_transpose_a(&b));
+    let flops = 2.0 * (n as f64).powi(3);
+    println!(
+        "matmul: naive {:.3}ms blocked {:.3}ms speedup {:.2}x ({:.2} GFLOP/s)",
+        t_naive * 1e3,
+        t_blocked * 1e3,
+        t_naive / t_blocked,
+        flops / t_blocked / 1e9
+    );
+    println!(
+        "t_b:    naive {:.3}ms blocked {:.3}ms speedup {:.2}x",
+        tb_naive * 1e3,
+        tb_blocked * 1e3,
+        tb_naive / tb_blocked
+    );
+    println!(
+        "t_a:    naive {:.3}ms blocked {:.3}ms speedup {:.2}x",
+        ta_naive * 1e3,
+        ta_blocked * 1e3,
+        ta_naive / ta_blocked
+    );
+}

@@ -79,7 +79,9 @@ pub fn load_params<R: Read>(mut input: R) -> Result<ParamStore, CheckpointError>
     }
     let count = read_u32(&mut input)? as usize;
     if count > 1_000_000 {
-        return Err(CheckpointError::Corrupt(format!("implausible param count {count}")));
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible param count {count}"
+        )));
     }
     let mut store = ParamStore::new();
     for _ in 0..count {

@@ -77,7 +77,11 @@ mod tests {
     #[test]
     fn zeros_and_constant() {
         let mut rng = SmallRng::seed_from_u64(1);
-        assert!(Init::Zeros.sample(2, 3, &mut rng).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Init::Zeros
+            .sample(2, 3, &mut rng)
+            .as_slice()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Init::Constant(2.5)
             .sample(2, 3, &mut rng)
             .as_slice()

@@ -49,9 +49,11 @@ mod tape;
 pub mod checkpoint;
 pub mod grad_check;
 pub mod init;
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod params;
+pub mod pool;
 
 pub use checkpoint::{load_params, save_params, CheckpointError};
 pub use grad_check::{assert_gradients_close, check_gradients, GradCheckReport};
@@ -60,4 +62,5 @@ pub use matrix::Matrix;
 pub use nn::{Activation, Embedding, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{Gradients, ParamId, ParamStore};
+pub use pool::MatrixPool;
 pub use tape::{stable_sigmoid, Tape, Var};

@@ -5,10 +5,11 @@
 //! (row-major, contiguous `Vec<f32>`) keeps every kernel cache-friendly and
 //! trivially testable.
 
+use crate::kernels;
 use std::fmt;
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -167,8 +168,16 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Returns the transposed matrix.
+    /// Returns the transposed matrix (tiled kernel).
     pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        kernels::transpose_blocked(&self.data, &mut out.data, self.rows, self.cols);
+        out
+    }
+
+    /// Reference transpose: the straightforward double loop, kept for
+    /// differential testing and benchmarking against [`Self::transpose`].
+    pub fn transpose_naive(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
@@ -178,15 +187,47 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * other`.
-    ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// rows of both the output and `other` (see the perf-book guidance on
-    /// bounds-check-friendly, cache-friendly inner loops).
+    /// Matrix product `self * other` using the cache-blocked register-tile
+    /// kernel ([`kernels::matmul_blocked`]).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] accumulating into a caller-provided `out` matrix
+    /// (`out += self * other`), enabling buffer reuse via the tape's
+    /// matrix pool. `out` must already have shape `rows x other.cols`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        kernels::matmul_blocked(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// Reference matmul: i-k-j streaming loops with a zero-skip, kept for
+    /// differential testing and benchmarking against [`Self::matmul`].
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -210,8 +251,44 @@ impl Matrix {
         out
     }
 
-    /// `self * other^T` without materializing the transpose.
+    /// `self * other^T` without materializing the transpose
+    /// ([`kernels::matmul_transpose_b_blocked`]).
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_b`] accumulating into a caller-provided
+    /// `out` (`out += self * other^T`). `out` must already have shape
+    /// `rows x other.rows`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transpose_b_into output shape mismatch"
+        );
+        kernels::matmul_transpose_b_blocked(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+    }
+
+    /// Reference `self * other^T`: per-element row dots, kept for
+    /// differential testing and benchmarking.
+    pub fn matmul_transpose_b_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
@@ -232,8 +309,44 @@ impl Matrix {
         out
     }
 
-    /// `self^T * other` without materializing the transpose.
+    /// `self^T * other` without materializing the transpose
+    /// ([`kernels::matmul_transpose_a_blocked`]).
     pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_transpose_a_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transpose_a`] accumulating into a caller-provided
+    /// `out` (`out += self^T * other`). `out` must already have shape
+    /// `cols x other.cols`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_transpose_a_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_transpose_a_into output shape mismatch"
+        );
+        kernels::matmul_transpose_a_blocked(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            other.cols,
+        );
+    }
+
+    /// Reference `self^T * other`: k-outer streaming rank-1 updates, kept
+    /// for differential testing and benchmarking.
+    pub fn matmul_transpose_a_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_transpose_a shape mismatch: ({}x{})^T * {}x{}",
@@ -255,6 +368,46 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Matrix of pairwise squared Euclidean distances between the rows of
+    /// `self` (`m x d`) and the rows of `other` (`n x d`):
+    /// `out[i][j] = ||self_i - other_j||^2`, shape `m x n`.
+    ///
+    /// Uses the expansion `||x||^2 + ||y||^2 - 2 x.y` so the O(m.n.d)
+    /// work runs through the blocked `x * y^T` kernel and the row norms
+    /// are computed once instead of per pair. Clamped at zero to absorb
+    /// the expansion's floating-point cancellation.
+    ///
+    /// # Panics
+    /// Panics if the row widths differ.
+    pub fn pairwise_sq_dist(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.pairwise_sq_dist_into(other, &mut out);
+        out
+    }
+
+    /// [`Self::pairwise_sq_dist`] writing into a caller-provided `out`
+    /// (which must be zero-filled, as pool buffers are) of shape
+    /// `rows x other.rows`.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn pairwise_sq_dist_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "pairwise_sq_dist width mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let x_norms = kernels::row_sq_norms(&self.data, self.rows, self.cols);
+        let y_norms = kernels::row_sq_norms(&other.data, other.rows, other.cols);
+        self.matmul_transpose_b_into(other, out);
+        for (i, &xn) in x_norms.iter().enumerate() {
+            let row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (o, &yn) in row.iter_mut().zip(&y_norms) {
+                *o = (xn + yn - 2.0 * *o).max(0.0);
+            }
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -367,7 +520,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
-            assert!(src < self.rows, "gather index {src} out of {} rows", self.rows);
+            assert!(
+                src < self.rows,
+                "gather index {src} out of {} rows",
+                self.rows
+            );
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         out
@@ -495,7 +652,11 @@ mod tests {
     #[test]
     fn matmul_transpose_variants_agree_with_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         assert!(a
             .matmul_transpose_b(&b)
             .approx_eq(&a.matmul(&b.transpose()), 1e-6));
@@ -592,6 +753,49 @@ mod tests {
         let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
         let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
         assert_eq!(a.row_dot(&b), m(2, 1, &[17.0, 53.0]));
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_references() {
+        let a = Matrix::from_vec(5, 7, (0..35).map(|i| (i as f32) * 0.3 - 4.0).collect());
+        let b = Matrix::from_vec(7, 9, (0..63).map(|i| 2.0 - (i as f32) * 0.17).collect());
+        assert!(a.matmul(&b).approx_eq(&a.matmul_naive(&b), 1e-4));
+        let bt = b.transpose();
+        assert!(a
+            .matmul_transpose_b(&bt)
+            .approx_eq(&a.matmul_transpose_b_naive(&bt), 1e-4));
+        let at = a.transpose();
+        assert!(at
+            .matmul_transpose_a(&b)
+            .approx_eq(&at.matmul_transpose_a_naive(&b), 1e-4));
+        assert_eq!(a.transpose(), a.transpose_naive());
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::identity(2);
+        let mut out = Matrix::full(2, 2, 10.0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, m(2, 2, &[11.0, 12.0, 13.0, 14.0]));
+    }
+
+    #[test]
+    fn pairwise_sq_dist_matches_direct() {
+        let x = m(3, 2, &[0.0, 0.0, 1.0, 1.0, -2.0, 0.5]);
+        let y = m(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        let d = x.pairwise_sq_dist(&y);
+        for i in 0..3 {
+            for j in 0..2 {
+                let direct: f32 = x
+                    .row(i)
+                    .iter()
+                    .zip(y.row(j))
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                assert!((d.get(i, j) - direct).abs() < 1e-5);
+            }
+        }
     }
 
     #[test]

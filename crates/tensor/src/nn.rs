@@ -27,7 +27,13 @@ impl Linear {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
-        let w = store.register(format!("{name}.w"), in_dim, out_dim, Init::XavierUniform, rng);
+        let w = store.register(
+            format!("{name}.w"),
+            in_dim,
+            out_dim,
+            Init::XavierUniform,
+            rng,
+        );
         let b = store.register(format!("{name}.b"), 1, out_dim, Init::Zeros, rng);
         Self {
             w,
@@ -121,7 +127,10 @@ impl Mlp {
         dropout: f32,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         assert!((0.0..1.0).contains(&dropout), "dropout must be in [0, 1)");
         let layers = widths
             .windows(2)
@@ -292,7 +301,14 @@ mod tests {
         use crate::{Adam, Optimizer};
         let mut rng = SmallRng::seed_from_u64(42);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "xor", &[2, 16, 1], Activation::Relu, 0.0, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "xor",
+            &[2, 16, 1],
+            Activation::Relu,
+            0.0,
+            &mut rng,
+        );
         let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
         let t = Matrix::column(&[0., 1., 1., 0.]);
         let mut opt = Adam::new(0.05);

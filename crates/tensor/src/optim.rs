@@ -136,7 +136,12 @@ impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
         for (id, g) in grads.iter() {
             let shape = store.get(id).shape();
-            assert_eq!(g.shape(), shape, "gradient shape mismatch for {}", store.name(id));
+            assert_eq!(
+                g.shape(),
+                shape,
+                "gradient shape mismatch for {}",
+                store.name(id)
+            );
             self.ensure_state(id, shape);
             let idx = id.index();
             self.t[idx] += 1;

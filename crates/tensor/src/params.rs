@@ -161,7 +161,11 @@ impl Gradients {
 
     /// Merges another gradient buffer into this one (summing).
     pub fn merge(&mut self, other: &Gradients) {
-        assert_eq!(self.grads.len(), other.grads.len(), "gradient arity mismatch");
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "gradient arity mismatch"
+        );
         for (i, g) in other.grads.iter().enumerate() {
             if let Some(g) = g {
                 self.accumulate(ParamId(i), g);

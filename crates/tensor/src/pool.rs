@@ -1,0 +1,116 @@
+//! Reusable backing buffers for tape intermediates.
+//!
+//! Training builds one [`crate::Tape`] per step and drops it afterwards,
+//! so without reuse every recorded node, every backward adjoint and every
+//! gradient delta allocates fresh storage — at batch sizes in the
+//! hundreds that is megabytes of allocator traffic per step. A
+//! [`MatrixPool`] keeps the freed buffers on a free-list instead;
+//! carried across steps (see `STTransRec::train_step` in `st-core`) the
+//! steady state allocates nothing at all.
+
+use crate::Matrix;
+
+/// A LIFO free-list of matrix backing buffers.
+///
+/// Buffers are handed back most-recently-released first, so the memory a
+/// step just touched (still warm in cache) is the memory the next
+/// acquisition gets. Capacity is not matched to the request: training
+/// steps cycle through the same few shapes, so after warm-up every
+/// pooled buffer already fits and `resize` never reallocates.
+#[derive(Debug, Default)]
+pub struct MatrixPool {
+    free: Vec<Vec<f32>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl MatrixPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zero-filled `rows x cols` matrix, backed by a pooled buffer when
+    /// one is available.
+    pub fn acquire_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        let n = rows * cols;
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.clear();
+                buf.resize(n, 0.0);
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => {
+                self.misses += 1;
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// A pooled copy of `src` (same shape and contents).
+    pub fn acquire_copy(&mut self, src: &Matrix) -> Matrix {
+        let (r, c) = src.shape();
+        let mut out = self.acquire_zeroed(r, c);
+        out.as_mut_slice().copy_from_slice(src.as_slice());
+        out
+    }
+
+    /// Returns a matrix's backing storage to the pool.
+    pub fn release(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffers are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// `(hits, misses)`: acquisitions served from the pool vs. fresh
+    /// allocations, since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_zeroed_even_after_dirty_release() {
+        let mut pool = MatrixPool::new();
+        let mut m = pool.acquire_zeroed(3, 4);
+        m.as_mut_slice().fill(7.5);
+        pool.release(m);
+        let again = pool.acquire_zeroed(3, 4);
+        assert!(again.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn buffers_are_reused() {
+        let mut pool = MatrixPool::new();
+        let m = pool.acquire_zeroed(8, 8);
+        pool.release(m);
+        let _ = pool.acquire_zeroed(4, 4);
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn copy_matches_source() {
+        let mut pool = MatrixPool::new();
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let cp = pool.acquire_copy(&src);
+        assert_eq!(cp, src);
+    }
+}

@@ -27,8 +27,10 @@
 //! assert!(grads.get(w).is_some());
 //! ```
 
+use crate::pool::MatrixPool;
 use crate::{Gradients, Matrix, ParamId, ParamStore};
 use rand::Rng;
+use std::cell::RefCell;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,31 +43,105 @@ enum Op {
     /// Dense read of a whole parameter.
     Param(ParamId),
     /// Sparse read of selected parameter rows (embedding lookup).
-    GatherParam { pid: ParamId, indices: Vec<usize> },
-    MatMul { a: Var, b: Var },
-    Transpose { a: Var },
-    Add { a: Var, b: Var },
-    Sub { a: Var, b: Var },
-    MulElem { a: Var, b: Var },
-    Scale { a: Var, c: f32 },
-    AddScalar { a: Var },
-    AddRowBroadcast { a: Var, row: Var },
-    AddColBroadcast { a: Var, col: Var },
-    Relu { a: Var },
-    Sigmoid { a: Var },
-    Tanh { a: Var },
-    Exp { a: Var },
-    Ln { a: Var },
-    ConcatCols { a: Var, b: Var },
-    ConcatRows { a: Var, b: Var },
-    SumAll { a: Var },
-    MeanAll { a: Var },
-    SumCols { a: Var },
-    SumRows { a: Var },
-    RowDot { a: Var, b: Var },
-    Dropout { a: Var, mask: Matrix },
+    GatherParam {
+        pid: ParamId,
+        indices: Vec<usize>,
+    },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
+    /// Reference matmul through the scalar naive kernels (baseline for
+    /// benchmarking the blocked path end to end, forward and backward).
+    MatMulNaive {
+        a: Var,
+        b: Var,
+    },
+    Transpose {
+        a: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    MulElem {
+        a: Var,
+        b: Var,
+    },
+    Scale {
+        a: Var,
+        c: f32,
+    },
+    AddScalar {
+        a: Var,
+    },
+    AddRowBroadcast {
+        a: Var,
+        row: Var,
+    },
+    AddColBroadcast {
+        a: Var,
+        col: Var,
+    },
+    Relu {
+        a: Var,
+    },
+    Sigmoid {
+        a: Var,
+    },
+    Tanh {
+        a: Var,
+    },
+    Exp {
+        a: Var,
+    },
+    Ln {
+        a: Var,
+    },
+    ConcatCols {
+        a: Var,
+        b: Var,
+    },
+    ConcatRows {
+        a: Var,
+        b: Var,
+    },
+    SumAll {
+        a: Var,
+    },
+    MeanAll {
+        a: Var,
+    },
+    SumCols {
+        a: Var,
+    },
+    SumRows {
+        a: Var,
+    },
+    RowDot {
+        a: Var,
+        b: Var,
+    },
+    Dropout {
+        a: Var,
+        mask: Matrix,
+    },
+    /// Fused Gaussian kernel `K_ij = exp(-||x_i - y_j||^2 / (2 sigma^2))`
+    /// with an analytic backward pass (the node value saves `K` itself).
+    GaussianKernel {
+        x: Var,
+        y: Var,
+        sigma: f32,
+    },
     /// Mean binary cross-entropy over logits, computed numerically stably.
-    BceWithLogits { logits: Var, targets: Matrix },
+    BceWithLogits {
+        logits: Var,
+        targets: Matrix,
+    },
 }
 
 struct Node {
@@ -77,15 +153,53 @@ struct Node {
 pub struct Tape<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node>,
+    /// Buffer pool serving forward matmuls and backward adjoints; in a
+    /// `RefCell` because [`Tape::backward`] runs on `&self`.
+    pool: RefCell<MatrixPool>,
 }
 
 impl<'s> Tape<'s> {
     /// Starts a fresh tape over `store`.
     pub fn new(store: &'s ParamStore) -> Self {
+        Self::with_pool(store, MatrixPool::new())
+    }
+
+    /// Starts a tape that draws intermediate buffers from `pool`.
+    ///
+    /// Recover the pool (grown by this tape's matrices) with
+    /// [`Tape::into_pool`] and hand it to the next step's tape; in steady
+    /// state a training loop then stops allocating entirely.
+    pub fn with_pool(store: &'s ParamStore, pool: MatrixPool) -> Self {
         Self {
             store,
             nodes: Vec::with_capacity(64),
+            pool: RefCell::new(pool),
         }
+    }
+
+    /// Consumes the tape, releasing every recorded matrix into the pool
+    /// and returning it.
+    pub fn into_pool(self) -> MatrixPool {
+        let mut pool = self.pool.into_inner();
+        for node in self.nodes {
+            pool.release(node.value);
+            match node.op {
+                Op::Dropout { mask, .. } => pool.release(mask),
+                Op::BceWithLogits { targets, .. } => pool.release(targets),
+                _ => {}
+            }
+        }
+        pool
+    }
+
+    /// A zero-filled pooled matrix.
+    fn alloc(&self, rows: usize, cols: usize) -> Matrix {
+        self.pool.borrow_mut().acquire_zeroed(rows, cols)
+    }
+
+    /// A pooled copy of `src`.
+    fn alloc_copy(&self, src: &Matrix) -> Matrix {
+        self.pool.borrow_mut().acquire_copy(src)
     }
 
     /// Number of recorded nodes.
@@ -139,8 +253,18 @@ impl<'s> Tape<'s> {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
-        self.push(value, Op::MatMul { a, b })
+        let mut out = self.alloc(self.value(a).rows(), self.value(b).cols());
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(out, Op::MatMul { a, b })
+    }
+
+    /// Matrix product through the scalar reference kernels, forward and
+    /// backward. Functionally identical to [`Tape::matmul`]; exists so
+    /// benches and differential tests can drive a whole computation
+    /// (e.g. an MMD step) through the naive baseline.
+    pub fn matmul_naive(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_naive(self.value(b));
+        self.push(value, Op::MatMulNaive { a, b })
     }
 
     /// Transpose.
@@ -323,9 +447,28 @@ impl<'s> Tape<'s> {
     /// Gaussian kernel matrix `K_ij = exp(-||x_i - y_j||^2 / (2 sigma^2))`
     /// between the rows of `x` (`n x d`) and `y` (`m x d`).
     ///
-    /// Built from primitives so gradients flow into both operands:
-    /// `||x_i - y_j||^2 = |x_i|^2 + |y_j|^2 - 2 x_i . y_j`.
+    /// Fused: the forward pass is one [`Matrix::pairwise_sq_dist`] (row
+    /// norms computed once, cross terms through the blocked `x * y^T`
+    /// kernel) plus an in-place `exp`; the backward pass is analytic,
+    /// so none of the composite formulation's intermediate `n x m`
+    /// matrices are materialized or differentiated through.
     pub fn gaussian_kernel(&mut self, x: Var, y: Var, sigma: f32) -> Var {
+        assert!(sigma > 0.0, "kernel bandwidth must be positive");
+        let mut k = self.alloc(self.value(x).rows(), self.value(y).rows());
+        self.value(x).pairwise_sq_dist_into(self.value(y), &mut k);
+        let neg_inv = -1.0 / (2.0 * sigma * sigma);
+        k.map_inplace(|d| (d * neg_inv).exp());
+        self.push(k, Op::GaussianKernel { x, y, sigma })
+    }
+
+    /// The Gaussian kernel built from tape primitives (reference for the
+    /// fused [`Tape::gaussian_kernel`]), with its matmul routed through
+    /// the naive kernels: `||x_i - y_j||^2 = |x_i|^2 + |y_j|^2 - 2 x_i . y_j`.
+    ///
+    /// Gradients flow into both operands through each primitive, which
+    /// makes this the end-to-end baseline the fused op is benchmarked
+    /// and differentially tested against.
+    pub fn gaussian_kernel_composite(&mut self, x: Var, y: Var, sigma: f32) -> Var {
         assert!(sigma > 0.0, "kernel bandwidth must be positive");
         let xx = self.mul_elem(x, x);
         let sx = self.sum_cols(xx); // n x 1
@@ -333,7 +476,7 @@ impl<'s> Tape<'s> {
         let sy = self.sum_cols(yy); // m x 1
         let syt = self.transpose(sy); // 1 x m
         let yt = self.transpose(y);
-        let xyt = self.matmul(x, yt); // n x m
+        let xyt = self.matmul_naive(x, yt); // n x m
         let minus2xy = self.scale(xyt, -2.0);
         let with_rows = self.add_row_broadcast(minus2xy, syt);
         let sqdist = self.add_col_broadcast(with_rows, sx);
@@ -370,14 +513,27 @@ impl<'s> Tape<'s> {
         for i in (0..=loss.0).rev() {
             let Some(g) = adj[i].take() else { continue };
             self.accumulate_node(i, &g, &mut adj, grads);
+            // The adjoint has been fully consumed; recycle its buffer for
+            // the deltas of earlier nodes.
+            self.pool.borrow_mut().release(g);
         }
     }
 
-    fn add_adj(adj: &mut [Option<Matrix>], v: Var, delta: Matrix) {
+    fn add_adj(&self, adj: &mut [Option<Matrix>], v: Var, delta: Matrix) {
         match &mut adj[v.0] {
-            Some(g) => g.axpy(1.0, &delta),
+            Some(g) => {
+                g.axpy(1.0, &delta);
+                self.pool.borrow_mut().release(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
+    }
+
+    /// Adds a constant-filled `r x c` delta to `v`'s adjoint (pooled).
+    fn add_adj_full(&self, adj: &mut [Option<Matrix>], v: Var, r: usize, c: usize, val: f32) {
+        let mut m = self.alloc(r, c);
+        m.as_mut_slice().fill(val);
+        self.add_adj(adj, v, m);
     }
 
     fn accumulate_node(
@@ -399,50 +555,59 @@ impl<'s> Tape<'s> {
                 }
             }
             Op::MatMul { a, b } => {
-                let da = g.matmul_transpose_b(self.value(*b));
-                let db = self.value(*a).matmul_transpose_a(g);
-                Self::add_adj(adj, *a, da);
-                Self::add_adj(adj, *b, db);
+                let (av, bv) = (self.value(*a), self.value(*b));
+                let mut da = self.alloc(av.rows(), av.cols());
+                g.matmul_transpose_b_into(bv, &mut da);
+                let mut db = self.alloc(bv.rows(), bv.cols());
+                av.matmul_transpose_a_into(g, &mut db);
+                self.add_adj(adj, *a, da);
+                self.add_adj(adj, *b, db);
             }
-            Op::Transpose { a } => Self::add_adj(adj, *a, g.transpose()),
+            Op::MatMulNaive { a, b } => {
+                let da = g.matmul_transpose_b_naive(self.value(*b));
+                let db = self.value(*a).matmul_transpose_a_naive(g);
+                self.add_adj(adj, *a, da);
+                self.add_adj(adj, *b, db);
+            }
+            Op::Transpose { a } => self.add_adj(adj, *a, g.transpose()),
             Op::Add { a, b } => {
-                Self::add_adj(adj, *a, g.clone());
-                Self::add_adj(adj, *b, g.clone());
+                self.add_adj(adj, *a, self.alloc_copy(g));
+                self.add_adj(adj, *b, self.alloc_copy(g));
             }
             Op::Sub { a, b } => {
-                Self::add_adj(adj, *a, g.clone());
-                Self::add_adj(adj, *b, g.scale(-1.0));
+                self.add_adj(adj, *a, self.alloc_copy(g));
+                self.add_adj(adj, *b, g.scale(-1.0));
             }
             Op::MulElem { a, b } => {
-                Self::add_adj(adj, *a, g.mul_elem(self.value(*b)));
-                Self::add_adj(adj, *b, g.mul_elem(self.value(*a)));
+                self.add_adj(adj, *a, g.mul_elem(self.value(*b)));
+                self.add_adj(adj, *b, g.mul_elem(self.value(*a)));
             }
-            Op::Scale { a, c } => Self::add_adj(adj, *a, g.scale(*c)),
-            Op::AddScalar { a } => Self::add_adj(adj, *a, g.clone()),
+            Op::Scale { a, c } => self.add_adj(adj, *a, g.scale(*c)),
+            Op::AddScalar { a } => self.add_adj(adj, *a, self.alloc_copy(g)),
             Op::AddRowBroadcast { a, row } => {
-                Self::add_adj(adj, *a, g.clone());
-                Self::add_adj(adj, *row, g.sum_rows());
+                self.add_adj(adj, *a, self.alloc_copy(g));
+                self.add_adj(adj, *row, g.sum_rows());
             }
             Op::AddColBroadcast { a, col } => {
-                Self::add_adj(adj, *a, g.clone());
-                Self::add_adj(adj, *col, g.sum_cols());
+                self.add_adj(adj, *a, self.alloc_copy(g));
+                self.add_adj(adj, *col, g.sum_cols());
             }
             Op::Relu { a } => {
                 let da = g.zip(&node.value, |g, y| if y > 0.0 { g } else { 0.0 });
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
             Op::Sigmoid { a } => {
                 let da = g.zip(&node.value, |g, y| g * y * (1.0 - y));
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
             Op::Tanh { a } => {
                 let da = g.zip(&node.value, |g, y| g * (1.0 - y * y));
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
-            Op::Exp { a } => Self::add_adj(adj, *a, g.mul_elem(&node.value)),
+            Op::Exp { a } => self.add_adj(adj, *a, g.mul_elem(&node.value)),
             Op::Ln { a } => {
                 let da = g.zip(self.value(*a), |g, x| g / x);
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
             Op::ConcatCols { a, b } => {
                 let ca = self.value(*a).cols();
@@ -454,64 +619,95 @@ impl<'s> Tape<'s> {
                     da.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
                     db.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
                 }
-                Self::add_adj(adj, *a, da);
-                Self::add_adj(adj, *b, db);
+                self.add_adj(adj, *a, da);
+                self.add_adj(adj, *b, db);
             }
             Op::ConcatRows { a, b } => {
                 let ra = self.value(*a).rows();
                 let cols = g.cols();
                 let da = Matrix::from_vec(ra, cols, g.as_slice()[..ra * cols].to_vec());
-                let db = Matrix::from_vec(
-                    g.rows() - ra,
-                    cols,
-                    g.as_slice()[ra * cols..].to_vec(),
-                );
-                Self::add_adj(adj, *a, da);
-                Self::add_adj(adj, *b, db);
+                let db = Matrix::from_vec(g.rows() - ra, cols, g.as_slice()[ra * cols..].to_vec());
+                self.add_adj(adj, *a, da);
+                self.add_adj(adj, *b, db);
             }
             Op::SumAll { a } => {
                 let (r, c) = self.value(*a).shape();
-                Self::add_adj(adj, *a, Matrix::full(r, c, g.item()));
+                self.add_adj_full(adj, *a, r, c, g.item());
             }
             Op::MeanAll { a } => {
                 let (r, c) = self.value(*a).shape();
                 let scale = g.item() / (r * c) as f32;
-                Self::add_adj(adj, *a, Matrix::full(r, c, scale));
+                self.add_adj_full(adj, *a, r, c, scale);
             }
             Op::SumCols { a } => {
                 let (r, c) = self.value(*a).shape();
-                let mut da = Matrix::zeros(r, c);
+                let mut da = self.alloc(r, c);
                 for row in 0..r {
                     let gr = g.as_slice()[row];
                     for x in da.row_mut(row) {
                         *x = gr;
                     }
                 }
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
             Op::SumRows { a } => {
                 let (r, c) = self.value(*a).shape();
-                let mut da = Matrix::zeros(r, c);
+                let mut da = self.alloc(r, c);
                 for row in 0..r {
                     da.row_mut(row).copy_from_slice(g.as_slice());
                 }
                 let _ = c;
-                Self::add_adj(adj, *a, da);
+                self.add_adj(adj, *a, da);
             }
             Op::RowDot { a, b } => {
                 let da = self.value(*b).mul_col_broadcast(g);
                 let db = self.value(*a).mul_col_broadcast(g);
-                Self::add_adj(adj, *a, da);
-                Self::add_adj(adj, *b, db);
+                self.add_adj(adj, *a, da);
+                self.add_adj(adj, *b, db);
             }
-            Op::Dropout { a, mask } => Self::add_adj(adj, *a, g.mul_elem(mask)),
+            Op::Dropout { a, mask } => self.add_adj(adj, *a, g.mul_elem(mask)),
+            Op::GaussianKernel { x, y, sigma } => {
+                // K_ij = exp(-||x_i - y_j||^2 / (2 s^2)); with W = g . K
+                // (elementwise),
+                //   dL/dx = (W y - diag(W 1) x) / s^2
+                //   dL/dy = (W^T x - diag(W^T 1) y) / s^2.
+                // When x and y are the same node, add_adj sums the two
+                // partials, which is exactly the repeated-argument rule.
+                let inv = 1.0 / (sigma * sigma);
+                let (xv, yv) = (self.value(*x), self.value(*y));
+                let w = g.mul_elem(&node.value); // n x m
+
+                let mut dx = self.alloc(xv.rows(), xv.cols());
+                w.matmul_into(yv, &mut dx);
+                let w_row_sums = w.sum_cols(); // n x 1
+                for r in 0..dx.rows() {
+                    let s = w_row_sums.as_slice()[r];
+                    for (o, &xe) in dx.row_mut(r).iter_mut().zip(xv.row(r)) {
+                        *o = inv * (*o - s * xe);
+                    }
+                }
+
+                let mut dy = self.alloc(yv.rows(), yv.cols());
+                w.matmul_transpose_a_into(xv, &mut dy);
+                let w_col_sums = w.sum_rows(); // 1 x m
+                for r in 0..dy.rows() {
+                    let s = w_col_sums.as_slice()[r];
+                    for (o, &ye) in dy.row_mut(r).iter_mut().zip(yv.row(r)) {
+                        *o = inv * (*o - s * ye);
+                    }
+                }
+
+                self.add_adj(adj, *x, dx);
+                self.add_adj(adj, *y, dy);
+                self.pool.borrow_mut().release(w);
+            }
             Op::BceWithLogits { logits, targets } => {
                 let n = targets.len() as f32;
                 let seed = g.item();
                 let da = self
                     .value(*logits)
                     .zip(targets, |z, t| seed * (stable_sigmoid(z) - t) / n);
-                Self::add_adj(adj, *logits, da);
+                self.add_adj(adj, *logits, da);
             }
         }
     }
@@ -673,6 +869,129 @@ mod tests {
         assert!(kv.get(0, 1) < 1.0);
         // Symmetry for identical inputs.
         assert!((kv.get(0, 1) - kv.get(1, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_gaussian_kernel_matches_composite_forward_and_backward() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let x = store.register("x", 7, 4, Init::Gaussian { std: 1.0 }, &mut rng);
+        let y = store.register("y", 5, 4, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let run = |fused: bool| -> (Matrix, Gradients) {
+            let mut tape = Tape::new(&store);
+            let xv = tape.param(x);
+            let yv = tape.param(y);
+            let k = if fused {
+                tape.gaussian_kernel(xv, yv, 0.8)
+            } else {
+                tape.gaussian_kernel_composite(xv, yv, 0.8)
+            };
+            let loss = tape.mean_all(k);
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            (tape.value(k).clone(), grads)
+        };
+        let (k_fused, g_fused) = run(true);
+        let (k_ref, g_ref) = run(false);
+        assert!(k_fused.approx_eq(&k_ref, 1e-5), "fused K diverges");
+        assert!(
+            g_fused
+                .get(x)
+                .unwrap()
+                .approx_eq(g_ref.get(x).unwrap(), 1e-5),
+            "fused dK/dx diverges"
+        );
+        assert!(
+            g_fused
+                .get(y)
+                .unwrap()
+                .approx_eq(g_ref.get(y).unwrap(), 1e-5),
+            "fused dK/dy diverges"
+        );
+    }
+
+    #[test]
+    fn fused_gaussian_kernel_handles_repeated_argument() {
+        // k(x, x) feeds both partials into the same adjoint slot.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let x = store.register("x", 6, 3, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let run = |fused: bool| -> Matrix {
+            let mut tape = Tape::new(&store);
+            let xv = tape.param(x);
+            let k = if fused {
+                tape.gaussian_kernel(xv, xv, 1.3)
+            } else {
+                tape.gaussian_kernel_composite(xv, xv, 1.3)
+            };
+            let loss = tape.mean_all(k);
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            grads.get(x).unwrap().clone()
+        };
+        assert!(run(true).approx_eq(&run(false), 1e-5));
+    }
+
+    #[test]
+    fn pooled_tape_reuses_buffers_across_steps() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let w = store.register("w", 16, 16, Init::Gaussian { std: 0.1 }, &mut rng);
+
+        let mut pool = crate::MatrixPool::new();
+        for _ in 0..3 {
+            let mut tape = Tape::with_pool(&store, pool);
+            let x = tape.input(Matrix::full(8, 16, 1.0));
+            let wv = tape.param(w);
+            let y = tape.matmul(x, wv);
+            let loss = tape.mean_all(y);
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            pool = tape.into_pool();
+        }
+        let (hits, misses) = pool.stats();
+        assert!(hits > 0, "pool never reused a buffer ({hits}/{misses})");
+        // Steady state: steps 2 and 3 allocate nothing new via the pool.
+        assert!(
+            hits >= misses,
+            "pool mostly missing: {hits} hits, {misses} misses"
+        );
+    }
+
+    #[test]
+    fn matmul_naive_op_matches_blocked_op() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let a = store.register("a", 9, 7, Init::Gaussian { std: 1.0 }, &mut rng);
+        let b = store.register("b", 7, 5, Init::Gaussian { std: 1.0 }, &mut rng);
+
+        let run = |naive: bool| -> (Matrix, Gradients) {
+            let mut tape = Tape::new(&store);
+            let av = tape.param(a);
+            let bv = tape.param(b);
+            let c = if naive {
+                tape.matmul_naive(av, bv)
+            } else {
+                tape.matmul(av, bv)
+            };
+            let loss = tape.mean_all(c);
+            let mut grads = Gradients::zeros_like(&store);
+            tape.backward(loss, &mut grads);
+            (tape.value(c).clone(), grads)
+        };
+        let (c_naive, g_naive) = run(true);
+        let (c_blocked, g_blocked) = run(false);
+        assert!(c_naive.approx_eq(&c_blocked, 1e-5));
+        assert!(g_naive
+            .get(a)
+            .unwrap()
+            .approx_eq(g_blocked.get(a).unwrap(), 1e-5));
+        assert!(g_naive
+            .get(b)
+            .unwrap()
+            .approx_eq(g_blocked.get(b).unwrap(), 1e-5));
     }
 
     #[test]

@@ -5,7 +5,10 @@ use rand::{rngs::SmallRng, SeedableRng};
 use st_tensor::{Gradients, Init, Matrix, ParamStore, Tape};
 
 /// Strategy: a matrix of bounded shape with small finite entries.
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-3.0f32..3.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))
@@ -24,7 +27,119 @@ fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
     })
 }
 
+/// Strategy: a matrix whose entries are multiples of 0.25 in [-4, 4].
+///
+/// On this grid every product is a multiple of 1/16 and every partial sum
+/// stays far below 2^20, so f32 arithmetic is exact regardless of the
+/// summation order — the blocked kernels and the naive references must
+/// then agree to the last bit, and the 1e-5 differential bound actually
+/// tests kernel logic (tiling, packing, edge handling) rather than
+/// floating-point reassociation.
+fn grid_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-16i32..17, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(
+            rows,
+            cols,
+            data.into_iter().map(|q| q as f32 * 0.25).collect(),
+        )
+    })
+}
+
+/// Dimensions straddling the register-tile sizes (MR = 4 rows, NR = 32
+/// columns, TR = 8 transpose block): below / at / above each boundary,
+/// plus the degenerate size 1 that makes 1x1, 1xn and nx1 operands.
+const TILE_DIMS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 34, 63, 64, 65];
+
+fn tile_dim() -> impl Strategy<Value = usize> {
+    (0usize..TILE_DIMS.len()).prop_map(|i| TILE_DIMS[i])
+}
+
+fn tile_boundary_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (tile_dim(), tile_dim(), tile_dim())
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// A ragged matmul case: operands with tile-straddling shapes and
+/// exact-grid entries.
+fn ragged_matmul_case() -> impl Strategy<Value = (Matrix, Matrix)> {
+    tile_boundary_dims().prop_flat_map(|(m, k, n)| (grid_matrix(m, k), grid_matrix(k, n)))
+}
+
 proptest! {
+    /// The tentpole differential test: the blocked matmul must match the
+    /// naive reference within 1e-5 across odd/ragged shapes, including
+    /// 1x1, 1xn, nx1 and sizes that are not multiples of the tile.
+    #[test]
+    fn blocked_matmul_matches_naive_across_tile_boundaries((a, b) in ragged_matmul_case()) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        prop_assert!(
+            max_abs_diff(&a.matmul(&b), &a.matmul_naive(&b)) <= 1e-5,
+            "matmul {m}x{k}x{n}"
+        );
+    }
+
+    /// Same differential bound for the fused-transpose kernels, driven
+    /// without materializing the transpose on the blocked side.
+    #[test]
+    fn blocked_transpose_products_match_naive_across_tile_boundaries(
+        (a, b) in ragged_matmul_case()
+    ) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let bt = b.transpose_naive(); // n x k
+        prop_assert!(
+            max_abs_diff(&a.matmul_transpose_b(&bt), &a.matmul_transpose_b_naive(&bt)) <= 1e-5,
+            "matmul_transpose_b {m}x{k}x{n}"
+        );
+        let at = a.transpose_naive(); // k x m
+        prop_assert!(
+            max_abs_diff(&at.matmul_transpose_a(&b), &at.matmul_transpose_a_naive(&b)) <= 1e-5,
+            "matmul_transpose_a {m}x{k}x{n}"
+        );
+    }
+
+    /// The tiled transpose is a permutation — it must match the naive
+    /// double loop exactly, for any shape around the TR = 8 block edge.
+    #[test]
+    fn blocked_transpose_matches_naive_across_tile_boundaries(
+        (r, c, _) in tile_boundary_dims()
+    ) {
+        let src = Matrix::from_vec(r, c, (0..r * c).map(|i| i as f32).collect());
+        prop_assert_eq!(src.transpose(), src.transpose_naive());
+    }
+
+    /// The norm-expansion pairwise-distance kernel (MMD's forward) must
+    /// match the direct per-pair subtraction within the differential bound.
+    #[test]
+    fn pairwise_sq_dist_matches_direct_across_tile_boundaries(
+        (a, b) in ragged_matmul_case()
+    ) {
+        let y = b.transpose_naive(); // n x k: same width as a
+        let d = a.pairwise_sq_dist(&y);
+        for i in 0..a.rows() {
+            for j in 0..y.rows() {
+                let direct: f32 = a
+                    .row(i)
+                    .iter()
+                    .zip(y.row(j))
+                    .map(|(&p, &q)| (p - q) * (p - q))
+                    .sum();
+                prop_assert!(
+                    (d.get(i, j) - direct).abs() <= 1e-4,
+                    "pairwise_sq_dist[{i}][{j}]: {} vs {direct}",
+                    d.get(i, j)
+                );
+            }
+        }
+    }
+
     #[test]
     fn transpose_is_involutive(a in matrix(1..8, 1..8)) {
         prop_assert_eq!(a.transpose().transpose(), a);

@@ -43,6 +43,9 @@ fn main() {
     println!("\nFull-model NDCG@10 improvement over each variant:");
     for (label, report) in &results[1..] {
         let theirs = report.get(Metric::Ndcg, 10);
-        println!("  {label}: {:+.2}%", (full - theirs) / theirs.max(1e-9) * 100.0);
+        println!(
+            "  {label}: {:+.2}%",
+            (full - theirs) / theirs.max(1e-9) * 100.0
+        );
     }
 }

@@ -31,8 +31,14 @@ fn main() {
         evaluate(&model, &dataset, &split, &eval_cfg),
     ));
 
-    println!("\n{:>14}{:>10}{:>10}{:>10}{:>10}", "method", "Recall", "Prec", "NDCG", "MAP");
-    println!("{:>14}{:>10}{:>10}{:>10}{:>10}", "", "@10", "@10", "@10", "@10");
+    println!(
+        "\n{:>14}{:>10}{:>10}{:>10}{:>10}",
+        "method", "Recall", "Prec", "NDCG", "MAP"
+    );
+    println!(
+        "{:>14}{:>10}{:>10}{:>10}{:>10}",
+        "", "@10", "@10", "@10", "@10"
+    );
     for (name, report) in &rows {
         println!(
             "{name:>14}{:>10.4}{:>10.4}{:>10.4}{:>10.4}",

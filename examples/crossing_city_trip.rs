@@ -38,16 +38,7 @@ fn main() {
         let cfg = cfg.with_variant(variant);
         let mut model = STTransRec::new(&dataset, &split, cfg);
         model.fit(&dataset);
-        case_study(
-            &model,
-            &dataset,
-            &split.train,
-            user,
-            target,
-            truth,
-            5,
-            5,
-        )
+        case_study(&model, &dataset, &split.train, user, target, truth, 5, 5)
     };
 
     let full = train_variant(Variant::Full);
@@ -56,20 +47,27 @@ fn main() {
 
     println!("== Rank list of ST-TransRec (full) ==");
     for e in &full.entries {
-        let mark = if e.is_ground_truth { " [GROUND TRUTH]" } else { "" };
+        let mark = if e.is_ground_truth {
+            " [GROUND TRUTH]"
+        } else {
+            ""
+        };
         println!("  {}{mark}\n    words: {}", e.name, e.words.join(", "));
     }
 
     let no_text = train_variant(Variant::NoText);
     println!("\n== Rank list of ST-TransRec-2 (no textual context) ==");
     for e in &no_text.entries {
-        let mark = if e.is_ground_truth { " [GROUND TRUTH]" } else { "" };
+        let mark = if e.is_ground_truth {
+            " [GROUND TRUTH]"
+        } else {
+            ""
+        };
         println!("  {}{mark}\n    words: {}", e.name, e.words.join(", "));
     }
 
-    let hits = |cs: &st_transrec::core::CaseStudy| {
-        cs.entries.iter().filter(|e| e.is_ground_truth).count()
-    };
+    let hits =
+        |cs: &st_transrec::core::CaseStudy| cs.entries.iter().filter(|e| e.is_ground_truth).count();
     println!(
         "\nGround-truth hits in top-5: full model {} vs no-text {}",
         hits(&full),

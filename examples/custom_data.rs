@@ -4,9 +4,9 @@
 //!
 //! Run with: `cargo run --release --example custom_data`
 
-use std::io::BufReader;
 use st_transrec::data::{read_dataset, write_dataset};
 use st_transrec::prelude::*;
+use std::io::BufReader;
 
 fn main() {
     // 1. In real use this file comes from your own check-in logs; here we

@@ -47,7 +47,11 @@ fn main() {
     let truth = split.ground_truth_for(0);
     for rec in recommend_top_k(&model, &dataset, user, target, 5, &[]) {
         let poi = dataset.poi(rec.poi);
-        let hit = if truth.contains(&rec.poi) { "  <- ground truth" } else { "" };
+        let hit = if truth.contains(&rec.poi) {
+            "  <- ground truth"
+        } else {
+            ""
+        };
         println!("  {:.3}  {}{hit}", rec.score, poi.name);
     }
 }

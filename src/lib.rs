@@ -61,7 +61,7 @@ pub mod prelude {
     };
     pub use st_eval::{evaluate, EvalConfig, Metric, MetricReport, Scorer};
     pub use st_transrec_core::{
-        recommend_top_k, CityResampler, MmdEstimator, ModelConfig, ParallelTrainer,
-        Recommendation, STTransRec, Variant,
+        recommend_top_k, CityResampler, MmdEstimator, ModelConfig, ParallelTrainer, Recommendation,
+        STTransRec, Variant,
     };
 }

@@ -50,10 +50,7 @@ fn trained_model_beats_itempop() {
     let pop = ItemPop::fit(&dataset, &split.train);
     let theirs = evaluate(&pop, &dataset, &split, &eval_cfg);
 
-    let (a, b) = (
-        ours.get(Metric::Ndcg, 10),
-        theirs.get(Metric::Ndcg, 10),
-    );
+    let (a, b) = (ours.get(Metric::Ndcg, 10), theirs.get(Metric::Ndcg, 10));
     assert!(
         a > b * 0.95,
         "ST-TransRec ({a:.4}) should not lose badly to ItemPop ({b:.4}) even at tiny scale"

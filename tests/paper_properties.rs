@@ -35,12 +35,27 @@ fn spatial_imbalance_exists_and_resampling_counteracts_it() {
     let (dataset, split) = setup_scaled();
     let mut rng = SmallRng::seed_from_u64(0);
     let r_raw = CityResampler::build(
-        &dataset, &split.train, split.target_city, 20, 0.10, 0.0, &mut rng,
+        &dataset,
+        &split.train,
+        split.target_city,
+        20,
+        0.10,
+        0.0,
+        &mut rng,
     );
     let r_balanced = CityResampler::build(
-        &dataset, &split.train, split.target_city, 20, 0.10, 1.0, &mut rng,
+        &dataset,
+        &split.train,
+        split.target_city,
+        20,
+        0.10,
+        1.0,
+        &mut rng,
     );
-    assert!(r_raw.segmentation().num_regions() > 1, "city did not segment");
+    assert!(
+        r_raw.segmentation().num_regions() > 1,
+        "city did not segment"
+    );
     let densest = r_raw.densities().densest().expect("check-ins exist");
 
     let share = |r: &CityResampler| {
@@ -54,7 +69,14 @@ fn spatial_imbalance_exists_and_resampling_counteracts_it() {
     };
     let raw = share(&r_raw);
     let balanced = share(&r_balanced);
-    assert!(raw > 0.2, "no density concentration to correct: {raw}");
+    // "Imbalanced" = the densest region draws far more than its uniform
+    // share (1/num_regions). A relative bound keeps the test meaningful
+    // across RNG streams, unlike a fixed absolute threshold.
+    let uniform = 1.0 / r_raw.segmentation().num_regions() as f64;
+    assert!(
+        raw > 2.0 * uniform,
+        "no density concentration to correct: {raw} vs uniform {uniform}"
+    );
     assert!(
         balanced < raw,
         "alpha = 1 did not rebalance: {raw} -> {balanced}"
