@@ -1,0 +1,58 @@
+//! Serving load-generator binary.
+//!
+//! Drives a real `st-serve` server over loopback through the three
+//! scenarios in [`st_bench::serve_load`] and writes the report to
+//! `BENCH_PR2.json` at the repo root (override the path with
+//! `ST_BENCH_OUT`, the schedule with `ST_LOADGEN_CLIENTS` /
+//! `ST_LOADGEN_REQS`).
+//!
+//! Build with `--release`: a debug-build forward pass drowns out
+//! everything the batcher does.
+
+use st_bench::serve_load;
+use std::path::PathBuf;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_usize("ST_LOADGEN_CLIENTS", 8);
+    let requests_per_client = env_usize("ST_LOADGEN_REQS", 150);
+    let reps = env_usize("ST_LOADGEN_REPS", 3);
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json"))
+        });
+
+    eprintln!(
+        "running serving load suite ({clients} clients x {requests_per_client} requests, best of {reps})..."
+    );
+    let report = serve_load::run_load_suite(clients, requests_per_client, reps);
+
+    for s in &report.scenarios {
+        eprintln!(
+            "  {:>22} {:>6.0} req/s  p50 {:>7} us  p99 {:>7} us  mean batch {:>5.2}  hit rate {:>5.2}  errors {}",
+            s.scenario, s.throughput_rps, s.p50_us, s.p99_us, s.mean_batch_size, s.cache_hit_rate, s.errors
+        );
+    }
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: batched {:.2}x over serial, cached {:.2}x, all 200s: {}",
+        a.batched_throughput_gain, a.cached_throughput_gain, a.all_responses_ok
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write serve-load report");
+    eprintln!("wrote {}", out_path.display());
+
+    if a.batched_throughput_gain <= 1.0 || !a.all_responses_ok {
+        eprintln!("WARNING: acceptance gates not met");
+        std::process::exit(1);
+    }
+}

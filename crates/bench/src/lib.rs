@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod json;
 pub mod perf;
 pub mod runner;
+pub mod serve_load;
 pub mod table;
 
 pub use runner::{dataset_config, eval_config, load, neural_config, DatasetKind, Loaded};

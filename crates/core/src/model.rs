@@ -449,14 +449,16 @@ impl STTransRec {
     /// Restores parameters from a checkpoint written by [`STTransRec::save`].
     ///
     /// The checkpoint must come from a model with the same architecture
-    /// (same dataset sizes and config); mismatches are rejected.
-    pub fn restore<R: std::io::Read>(
-        &mut self,
-        input: R,
-    ) -> Result<(), st_tensor::CheckpointError> {
-        let loaded = st_tensor::load_params(input)?;
+    /// (same dataset sizes and config); mismatches are rejected. Every
+    /// failure mode — truncated streams, mangled headers, shape
+    /// mismatches — surfaces as a clean [`std::io::Error`] and leaves the
+    /// current parameters untouched, so a bad hot-reload on a serving
+    /// path is rejected while the old model keeps answering.
+    pub fn restore<R: std::io::Read>(&mut self, input: R) -> std::io::Result<()> {
+        let corrupt = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let loaded = st_tensor::load_params(input).map_err(std::io::Error::from)?;
         if loaded.len() != self.store.len() {
-            return Err(st_tensor::CheckpointError::Corrupt(format!(
+            return Err(corrupt(format!(
                 "parameter count mismatch: checkpoint {} vs model {}",
                 loaded.len(),
                 self.store.len()
@@ -464,7 +466,7 @@ impl STTransRec {
         }
         for ((_, name, value), (_, l_name, l_value)) in self.store.iter().zip(loaded.iter()) {
             if name != l_name || value.shape() != l_value.shape() {
-                return Err(st_tensor::CheckpointError::Corrupt(format!(
+                return Err(corrupt(format!(
                     "parameter '{name}' {:?} does not match checkpoint '{l_name}' {:?}",
                     value.shape(),
                     l_value.shape()

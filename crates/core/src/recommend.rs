@@ -28,6 +28,9 @@ pub struct Recommendation {
 /// thousands of POIs; a linear scan per candidate is quadratic), and the
 /// sort uses [`f32::total_cmp`], so a scorer emitting NaN degrades to a
 /// deterministic order instead of panicking mid-ranking.
+///
+/// `k == 0` yields an empty ranking: this function sits on the serving
+/// path, where request input must never panic the process.
 pub fn recommend_top_k(
     scorer: &dyn Scorer,
     dataset: &Dataset,
@@ -36,7 +39,9 @@ pub fn recommend_top_k(
     k: usize,
     exclude: &[PoiId],
 ) -> Vec<Recommendation> {
-    assert!(k > 0, "k must be positive");
+    if k == 0 {
+        return Vec::new();
+    }
     let excluded: HashSet<PoiId> = exclude.iter().copied().collect();
     let candidates: Vec<PoiId> = dataset
         .pois_in_city(city)
@@ -179,6 +184,13 @@ mod tests {
         }
         // All recommendations live in the target city.
         assert!(recs.iter().all(|r| d.poi(r.poi).city == city));
+    }
+
+    #[test]
+    fn k_zero_returns_empty_instead_of_panicking() {
+        let (d, split) = setup();
+        let recs = recommend_top_k(&ByIdDesc, &d, UserId(0), split.target_city, 0, &[]);
+        assert!(recs.is_empty());
     }
 
     #[test]

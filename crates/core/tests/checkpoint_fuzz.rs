@@ -1,0 +1,134 @@
+//! Fuzz-ish robustness test for checkpoint restore on the serving path.
+//!
+//! Hot-reload feeds `STTransRec::restore` bytes straight from disk; a
+//! half-written or corrupted checkpoint must surface as a clean
+//! `io::Error` — never a panic, never a huge speculative allocation, and
+//! never a partially applied parameter store. This test mangles a valid
+//! checkpoint every way the format can break (truncation at every
+//! region, bit flips across the header and body, pure garbage) and
+//! asserts the model either rejects the bytes with its weights bit-for-
+//! bit intact, or — when the damage lands inside weight data and is
+//! therefore undetectable — applies a complete, well-formed store.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, Dataset};
+use st_eval::Scorer;
+use st_transrec_core::{ModelConfig, STTransRec};
+
+fn trained_model() -> (Dataset, CrossingCitySplit, STTransRec) {
+    let cfg = SynthConfig::tiny();
+    let (dataset, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&dataset, CityId(cfg.target_city as u16));
+    let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+    model.train_epoch(&dataset);
+    (dataset, split, model)
+}
+
+/// Attempts a restore of `bytes`; on rejection the scores must be
+/// untouched, on acceptance the model is reset from `pristine` so the
+/// next case starts from the same baseline.
+fn check_one(
+    model: &mut STTransRec,
+    dataset: &Dataset,
+    split: &CrossingCitySplit,
+    baseline: &[f32],
+    pristine: &[u8],
+    bytes: &[u8],
+    what: &str,
+) {
+    let user = split.test_users[0];
+    let pois = dataset.pois_in_city(split.target_city);
+    match model.restore(bytes) {
+        Err(_) => {
+            // Rejected: the old model must keep serving identical scores.
+            assert_eq!(
+                model.score_batch(user, pois),
+                baseline,
+                "{what}: failed restore must not touch parameters"
+            );
+        }
+        Ok(()) => {
+            // Mangled bytes that still parse (damage inside weight data)
+            // are indistinguishable from a legitimate checkpoint; the
+            // store is fully applied either way. Reset for the next case.
+            model
+                .restore(pristine)
+                .expect("pristine checkpoint must restore");
+        }
+    }
+}
+
+#[test]
+fn mangled_checkpoints_error_cleanly_and_never_corrupt_the_model() {
+    let (dataset, split, mut model) = trained_model();
+    let user = split.test_users[0];
+    let pois = dataset.pois_in_city(split.target_city);
+    let baseline = model.score_batch(user, pois);
+
+    let mut pristine = Vec::new();
+    model.save(&mut pristine).unwrap();
+    model.restore(pristine.as_slice()).unwrap();
+    assert_eq!(model.score_batch(user, pois), baseline);
+
+    // Truncation: every prefix of the header region, then strided cuts
+    // through the body (every weight-data offset behaves the same way).
+    let mut cuts: Vec<usize> = (0..64.min(pristine.len())).collect();
+    cuts.extend((64..pristine.len()).step_by(97));
+    for cut in cuts {
+        let err = model
+            .restore(&pristine[..cut])
+            .expect_err("truncated checkpoint must be rejected");
+        let _ = err.to_string(); // clean, displayable io::Error
+        assert_eq!(
+            model.score_batch(user, pois),
+            baseline,
+            "truncation at {cut} must not touch parameters"
+        );
+    }
+
+    // Bit flips: exhaustive over the global header, randomized over the
+    // rest (param headers and weight data).
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let mut positions: Vec<usize> = (0..32.min(pristine.len())).collect();
+    for _ in 0..256 {
+        positions.push(rng.gen_range(0..pristine.len()));
+    }
+    for pos in positions {
+        let mut mangled = pristine.clone();
+        mangled[pos] ^= 1 << rng.gen_range(0..8u32);
+        check_one(
+            &mut model,
+            &dataset,
+            &split,
+            &baseline,
+            &pristine,
+            &mangled,
+            &format!("bit flip at byte {pos}"),
+        );
+    }
+
+    // Pure garbage of assorted sizes, including one that spells out an
+    // implausibly huge matrix shape after a valid magic + version.
+    for len in [0usize, 1, 4, 16, 256, 4096] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        assert!(
+            model.restore(garbage.as_slice()).is_err(),
+            "garbage of length {len} must be rejected"
+        );
+    }
+    let mut huge_shape = Vec::new();
+    huge_shape.extend_from_slice(b"STPK");
+    huge_shape.extend_from_slice(&1u32.to_le_bytes()); // version
+    huge_shape.extend_from_slice(&1u32.to_le_bytes()); // count
+    huge_shape.extend_from_slice(&1u32.to_le_bytes()); // name_len
+    huge_shape.push(b'x');
+    huge_shape.extend_from_slice(&0x4000_0000u32.to_le_bytes()); // rows
+    huge_shape.extend_from_slice(&0x4000_0000u32.to_le_bytes()); // cols
+    assert!(
+        model.restore(huge_shape.as_slice()).is_err(),
+        "implausible shape must be rejected without allocating it"
+    );
+    assert_eq!(model.score_batch(user, pois), baseline);
+}

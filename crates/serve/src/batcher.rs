@@ -1,0 +1,419 @@
+//! The micro-batcher: coalesces concurrent recommendation requests into
+//! one batched forward pass.
+//!
+//! HTTP workers submit [`BatchRequest`]s and block on a per-request
+//! channel. A single batcher thread takes the first queued request,
+//! waits up to the configured window for more to arrive (leaving early
+//! when `max_batch` fills), then concatenates every request's
+//! `(user, candidate)` pairs into one [`STTransRec::predict`] call — the
+//! same batched scoring path PR 1 built, now amortizing one tape and one
+//! tower pass over every concurrent caller. Scores are split back per
+//! request and ranked exactly like `recommend_top_k` (descending
+//! `total_cmp`, POI-id tiebreak), so a batched response is bit-identical
+//! to an unbatched one.
+//!
+//! The whole batch scores against one model snapshot grabbed at
+//! execution time; the reply carries that snapshot's epoch so callers
+//! cache under the generation that actually produced the result.
+
+use crate::metrics::{Metrics, BATCH_BUCKETS};
+use crate::snapshot::ModelCell;
+use st_data::{PoiId, UserId};
+use st_transrec_core::{Recommendation, STTransRec};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scores `(user, poi)` pairs given as parallel slices in one forward
+/// pass. This is the surface the micro-batcher needs from a model; it is
+/// a trait so tests can drive the batcher with synthetic scorers.
+pub trait PairScorer: Send + Sync {
+    /// Scores each `(users[i], pois[i])` pair; output is parallel to the
+    /// inputs and must not depend on how pairs are batched together.
+    fn score_pairs(&self, users: &[UserId], pois: &[PoiId]) -> Vec<f32>;
+}
+
+impl PairScorer for STTransRec {
+    fn score_pairs(&self, users: &[UserId], pois: &[PoiId]) -> Vec<f32> {
+        let user_rows: Vec<usize> = users.iter().map(|u| u.idx()).collect();
+        let poi_rows: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
+        self.predict(&user_rows, &poi_rows)
+    }
+}
+
+/// One recommendation request as the batcher sees it.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The requesting user.
+    pub user: UserId,
+    /// Candidate POIs (already filtered to the requested city).
+    pub candidates: Arc<Vec<PoiId>>,
+    /// How many top results to return.
+    pub k: usize,
+}
+
+/// The batcher's answer to one request.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Epoch of the model snapshot that scored this request.
+    pub epoch: u64,
+    /// Top-k recommendations, ranked like `recommend_top_k`.
+    pub recs: Vec<Recommendation>,
+}
+
+struct Job {
+    req: BatchRequest,
+    tx: mpsc::Sender<BatchReply>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    arrived: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// Handle to the batcher thread.
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Upper bound on how long the batcher holds a batch open for
+    /// companions after the first request; it fires early once arrivals
+    /// pause. Zero disables the coalescing delay entirely (each pass
+    /// takes whatever is already queued — batches still form naturally
+    /// from the backlog that accumulates while the previous batch
+    /// scores).
+    pub window: Duration,
+    /// Most requests folded into one forward pass. 1 reproduces
+    /// one-request-at-a-time serving through the identical code path.
+    pub max_batch: usize,
+    /// Upper bound on `(user, poi)` pairs per `score_pairs` call. A
+    /// coalesced batch larger than this is scored in chunks split at
+    /// request boundaries: per-pair cost rises once a forward pass's
+    /// tape intermediates outgrow the cache, so a huge concatenated
+    /// batch is *slower* than a few cache-resident ones. Also bounds
+    /// peak scoring memory. 0 disables chunking.
+    pub chunk_pairs: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_micros(500),
+            max_batch: 64,
+            chunk_pairs: 256,
+        }
+    }
+}
+
+impl MicroBatcher {
+    /// Spawns the batcher thread over `cell`'s current model.
+    pub fn start(cell: Arc<ModelCell>, metrics: Arc<Metrics>, config: BatchConfig) -> Self {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let worker_shared = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("st-serve-batcher".into())
+            .spawn(move || batcher_loop(worker_shared, cell, metrics, config))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Submits a request and blocks until its batch executes. `None`
+    /// only when the batcher is shutting down.
+    pub fn submit(&self, req: BatchRequest) -> Option<BatchReply> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
+            if *self.shared.shutdown.lock().expect("shutdown poisoned") {
+                return None;
+            }
+            queue.push_back(Job { req, tx });
+        }
+        self.shared.arrived.notify_all();
+        rx.recv().ok()
+    }
+
+    /// Stops the batcher thread, answering queued jobs first.
+    pub fn shutdown(&mut self) {
+        *self.shared.shutdown.lock().expect("shutdown poisoned") = true;
+        self.shared.arrived.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(
+    shared: Arc<Shared>,
+    cell: Arc<ModelCell>,
+    metrics: Arc<Metrics>,
+    config: BatchConfig,
+) {
+    loop {
+        // Wait for the first request (or shutdown).
+        let mut queue = shared.queue.lock().expect("batcher queue poisoned");
+        while queue.is_empty() {
+            if *shared.shutdown.lock().expect("shutdown poisoned") {
+                return;
+            }
+            queue = shared
+                .arrived
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("batcher queue poisoned")
+                .0;
+        }
+
+        // Coalesce: hold the door open up to `window` for more arrivals,
+        // leaving as soon as the batch is full — or as soon as arrivals
+        // pause. Waiting out the whole window when no more requests are
+        // coming just parks every blocked caller behind a timer, so the
+        // wait runs in short quanta and fires once a quantum passes with
+        // no growth.
+        if !config.window.is_zero() && queue.len() < config.max_batch {
+            let deadline = Instant::now() + config.window;
+            let quantum = (config.window / 8).max(Duration::from_micros(20));
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero()
+                    || queue.len() >= config.max_batch
+                    || *shared.shutdown.lock().expect("shutdown poisoned")
+                {
+                    break;
+                }
+                let before = queue.len();
+                queue = shared
+                    .arrived
+                    .wait_timeout(queue, remaining.min(quantum))
+                    .expect("batcher queue poisoned")
+                    .0;
+                if queue.len() == before {
+                    break; // arrivals paused: score what we have
+                }
+            }
+        }
+
+        let take = queue.len().min(config.max_batch);
+        let batch: Vec<Job> = queue.drain(..take).collect();
+        drop(queue);
+        execute_batch(&cell, &metrics, batch, config.chunk_pairs);
+    }
+}
+
+/// Runs one coalesced batch — scored in cache-sized chunks of at most
+/// `chunk_pairs` pairs, split at request boundaries — and answers every
+/// job in it. The whole batch sees one model snapshot regardless of how
+/// many `score_pairs` calls it takes.
+fn execute_batch(cell: &ModelCell, metrics: &Metrics, batch: Vec<Job>, chunk_pairs: usize) {
+    if batch.is_empty() {
+        return;
+    }
+    let snapshot = cell.current();
+
+    metrics
+        .batches
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    metrics
+        .batched_requests
+        .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    metrics
+        .batch_size
+        .observe(batch.len() as u64, &BATCH_BUCKETS);
+
+    let mut chunk: Vec<Job> = Vec::with_capacity(batch.len());
+    let mut chunk_len = 0usize;
+    for job in batch {
+        let n = job.req.candidates.len();
+        if !chunk.is_empty() && chunk_pairs > 0 && chunk_len + n > chunk_pairs {
+            score_chunk(&snapshot, std::mem::take(&mut chunk), chunk_len);
+            chunk_len = 0;
+        }
+        chunk_len += n;
+        chunk.push(job);
+    }
+    score_chunk(&snapshot, chunk, chunk_len);
+}
+
+/// One `score_pairs` call over `chunk`'s concatenated pairs, then ranks
+/// and replies per request.
+fn score_chunk(snapshot: &crate::snapshot::ModelSnapshot, chunk: Vec<Job>, total: usize) {
+    if chunk.is_empty() {
+        return;
+    }
+    let mut users: Vec<UserId> = Vec::with_capacity(total);
+    let mut pois: Vec<PoiId> = Vec::with_capacity(total);
+    for job in &chunk {
+        users.extend(std::iter::repeat_n(job.req.user, job.req.candidates.len()));
+        pois.extend_from_slice(&job.req.candidates);
+    }
+    let scores = snapshot.model.score_pairs(&users, &pois);
+    debug_assert_eq!(scores.len(), total);
+
+    let mut offset = 0;
+    for job in chunk {
+        let n = job.req.candidates.len();
+        let slice = &scores[offset..offset + n];
+        offset += n;
+        let recs = rank_top_k(&job.req.candidates, slice, job.req.k);
+        // A dropped receiver (client hung up) is not an error.
+        let _ = job.tx.send(BatchReply {
+            epoch: snapshot.epoch,
+            recs,
+        });
+    }
+}
+
+/// Ranks candidates by score exactly like `recommend_top_k`: descending
+/// `total_cmp`, ties broken by ascending POI id, truncated to `k`.
+pub fn rank_top_k(candidates: &[PoiId], scores: &[f32], k: usize) -> Vec<Recommendation> {
+    let mut ranked: Vec<Recommendation> = candidates
+        .iter()
+        .zip(scores)
+        .map(|(&poi, &score)| Recommendation { poi, score })
+        .collect();
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.poi.cmp(&b.poi)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::{CityId, CrossingCitySplit};
+    use st_transrec_core::{recommend_top_k, ModelConfig};
+
+    fn cell() -> (Arc<ModelCell>, st_data::Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        let mut model = STTransRec::new(&d, &split, ModelConfig::test_small());
+        model.train_epoch(&d);
+        (Arc::new(ModelCell::new(model)), d, split)
+    }
+
+    #[test]
+    fn batched_replies_match_recommend_top_k() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::start(
+            cell.clone(),
+            metrics.clone(),
+            BatchConfig {
+                window: Duration::from_millis(2),
+                max_batch: 16,
+                // A chunk cap smaller than one catalog forces the
+                // chunked path; replies must still be exact.
+                chunk_pairs: 16,
+            },
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+
+        // Concurrent submissions from several threads coalesce; each
+        // reply must equal the offline recommend_top_k ranking.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = split
+                .test_users
+                .iter()
+                .take(6)
+                .map(|&user| {
+                    let batcher = &batcher;
+                    let candidates = candidates.clone();
+                    scope.spawn(move || {
+                        let reply = batcher
+                            .submit(BatchRequest {
+                                user,
+                                candidates,
+                                k: 5,
+                            })
+                            .expect("batcher alive");
+                        (user, reply)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (user, reply) = h.join().unwrap();
+                assert_eq!(reply.epoch, 1);
+                let expected =
+                    recommend_top_k(&cell.current().model, &d, user, split.target_city, 5, &[]);
+                assert_eq!(reply.recs, expected, "user {user:?}");
+            }
+        });
+        assert_eq!(
+            metrics
+                .batched_requests
+                .load(std::sync::atomic::Ordering::Relaxed),
+            6
+        );
+        assert!(metrics.batches.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn max_batch_one_serves_one_at_a_time() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::start(
+            cell.clone(),
+            metrics.clone(),
+            BatchConfig {
+                window: Duration::ZERO,
+                max_batch: 1,
+                ..BatchConfig::default()
+            },
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+        for &user in split.test_users.iter().take(3) {
+            let reply = batcher
+                .submit(BatchRequest {
+                    user,
+                    candidates: candidates.clone(),
+                    k: 3,
+                })
+                .unwrap();
+            assert_eq!(reply.recs.len(), 3);
+        }
+        let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(batches, 3, "every request is its own batch");
+    }
+
+    #[test]
+    fn k_zero_and_empty_candidates_are_harmless() {
+        let (cell, d, split) = cell();
+        let batcher = MicroBatcher::start(cell, Arc::new(Metrics::new()), BatchConfig::default());
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+        let reply = batcher
+            .submit(BatchRequest {
+                user: split.test_users[0],
+                candidates,
+                k: 0,
+            })
+            .unwrap();
+        assert!(reply.recs.is_empty());
+        let reply = batcher
+            .submit(BatchRequest {
+                user: split.test_users[0],
+                candidates: Arc::new(Vec::new()),
+                k: 5,
+            })
+            .unwrap();
+        assert!(reply.recs.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! Minimal HTTP/1.1 request parsing and response writing over `std::io`.
+//!
+//! The serving subsystem speaks just enough HTTP for its four routes:
+//! request line + headers + optional `Content-Length` body, keep-alive
+//! by default (HTTP/1.1 semantics, `Connection: close` honoured), and
+//! hard limits on line length, header count and body size so a
+//! malformed or hostile peer costs a bounded amount of memory. Anything
+//! outside that envelope surfaces as [`ParseError::Malformed`], which
+//! the server answers with `400 Bad Request`.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request/header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted headers per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, bytes.
+const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/recommend`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `name`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First header named `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Errors from request parsing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The bytes are not a well-formed request within our limits; the
+    /// connection gets a `400` and is closed.
+    Malformed(String),
+    /// The underlying socket failed (including read timeouts).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one line up to `MAX_LINE` bytes, without the trailing CRLF.
+/// Returns `None` on clean EOF before any byte.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Malformed("EOF mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let s = String::from_utf8(line)
+                        .map_err(|_| ParseError::Malformed("non-UTF8 request line".into()))?;
+                    return Ok(Some(s));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(ParseError::Malformed("request line too long".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(ParseError::Io(e)),
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+` as space in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let decoded = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match decoded {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into path and decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|p| !p.is_empty())
+                .map(|p| match p.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(p), String::new()),
+                })
+                .collect();
+            (path.to_string(), pairs)
+        }
+    }
+}
+
+/// Reads one request from `reader`. `Ok(None)` means the peer closed the
+/// connection cleanly between requests (normal keep-alive shutdown).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ParseError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(ParseError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line =
+            read_line(reader)?.ok_or_else(|| ParseError::Malformed("EOF inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let len: usize = v
+            .parse()
+            .map_err(|_| ParseError::Malformed(format!("bad content-length {v:?}")))?;
+        if len > MAX_BODY {
+            return Err(ParseError::Malformed("body too large".into()));
+        }
+        body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+    }
+
+    let (path, query) = parse_target(target);
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, ...).
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(status, format!("{{\"error\":{}}}", json_string(message)))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response to `out`, advertising keep-alive or close.
+    pub fn write_to<W: Write>(&self, mut out: W, keep_alive: bool) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Renders `s` as a JSON string literal with escaping.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /recommend?user=3&city=1&k=5 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/recommend");
+        assert_eq!(req.query_param("user"), Some("3"));
+        assert_eq!(req.query_param("city"), Some("1"));
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let req = parse(
+            "POST /admin/reload HTTP/1.1\r\nConnection: close\r\nContent-Length: 4\r\n\r\nwake",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"wake");
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn percent_decoding_in_query() {
+        let req = parse("GET /recommend?user=1&note=a%20b+c HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("note"), Some("a b c"));
+    }
+
+    #[test]
+    fn clean_eof_yields_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for raw in [
+            "NOT-HTTP\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: huge\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ParseError::Malformed(_))),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}")
+            .with_header("X-Cache", "HIT")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Cache: HIT\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

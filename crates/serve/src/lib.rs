@@ -1,0 +1,65 @@
+//! # st-serve
+//!
+//! The online serving subsystem: turns the batch-trained ST-TransRec
+//! checkpoints and the batched/sharded scoring kernels into a live
+//! recommendation service — the path a visitor arriving in a new city
+//! actually hits.
+//!
+//! Four layers, std-only (no external dependencies, matching the
+//! offline build environment):
+//!
+//! - [`http`] — a minimal HTTP/1.1 server substrate over
+//!   `std::net::TcpListener`: request parsing with hard limits,
+//!   keep-alive, hand-rolled JSON responses.
+//! - [`batcher`] — a micro-batcher that coalesces concurrent
+//!   `/recommend` requests arriving within a short window into one
+//!   batched forward pass, so serving throughput rides the batched
+//!   kernels instead of paying one tape per request.
+//! - [`lru`] — an LRU result cache keyed by
+//!   `(user, city, k, model_epoch)`; the epoch component makes cache
+//!   invalidation on hot-reload free.
+//! - [`snapshot`] — checkpoint hot-reload: the model lives behind an
+//!   `Arc`-swapped [`snapshot::ModelSnapshot`], so `POST /admin/reload`
+//!   (or the checkpoint-mtime watcher) swaps a new model in without
+//!   dropping in-flight requests.
+//!
+//! [`server`] wires the layers into a [`server::Server`] with a fixed
+//! worker pool and a `/metrics` endpoint (request counts, cache hit
+//! rate, batch-size distribution, latency histograms). [`client`] is a
+//! tiny blocking HTTP client used by the end-to-end tests and the
+//! `st-bench` load generator.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use st_data::{synth, CityId, CrossingCitySplit};
+//! use st_transrec_core::{ModelConfig, STTransRec};
+//! use st_serve::server::{Engine, ServeConfig, Server};
+//!
+//! let (dataset, _) = synth::generate(&synth::SynthConfig::tiny());
+//! let split = CrossingCitySplit::build(&dataset, CityId(1));
+//! let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+//! model.fit(&dataset);
+//!
+//! let config = ServeConfig::default();
+//! let engine = Engine::new(Arc::new(dataset), model, None, &config);
+//! let server = Server::start(engine, &config).unwrap();
+//! println!("serving on http://{}", server.local_addr());
+//! server.wait();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use batcher::{BatchConfig, BatchReply, BatchRequest, MicroBatcher, PairScorer};
+pub use client::{HttpClient, HttpResponse};
+pub use lru::LruCache;
+pub use metrics::Metrics;
+pub use server::{render_recommend_body, Engine, ServeConfig, Server};
+pub use snapshot::{ModelCell, ModelSnapshot, Reloader};

@@ -1,0 +1,213 @@
+//! A slab-backed LRU cache for serving results.
+//!
+//! Entries live in a `Vec` slab threaded as a doubly-linked list
+//! (most-recently-used at the head) with a `HashMap` from key to slot,
+//! so `get`/`insert` are O(1) with no per-entry allocation after the
+//! slab fills. The serving layer keys entries by
+//! `(user, city, k, model_epoch)`: bumping the model epoch on hot-reload
+//! makes every stale entry unreachable immediately — invalidation is
+//! free — and normal LRU pressure evicts the dead entries over time.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel for "no slot".
+const NONE: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries. Capacity 0 is
+    /// a valid always-miss cache (caching disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            head: NONE,
+            tail: NONE,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `key`, marking the entry most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts or replaces `key`, returning the evicted LRU entry when
+    /// the cache was full (or the replaced value under the same key).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return Some((key, value));
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.slots[slot].value, value);
+            if slot != self.head {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return Some((key, old));
+        }
+        if self.map.len() == self.capacity {
+            // Full: reuse the LRU slot in place.
+            let lru = self.tail;
+            self.unlink(lru);
+            let old = std::mem::replace(
+                &mut self.slots[lru],
+                Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NONE,
+                    next: NONE,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.link_front(lru);
+            return Some((old.key, old.value));
+        }
+        self.slots.push(Slot {
+            key: key.clone(),
+            value,
+            prev: NONE,
+            next: NONE,
+        });
+        let slot = self.slots.len() - 1;
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        None
+    }
+
+    /// Drops every entry, keeping the map allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&2), Some(&"b"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.get(&1); // 2 is now LRU
+        let evicted = c.insert(3, "c");
+        assert_eq!(evicted, Some((2, "b")));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_replaces_and_refreshes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.insert(1, "a2"), Some((1, "a"))); // 1 refreshed, 2 is LRU
+        c.insert(3, "c");
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn capacity_zero_never_stores() {
+        let mut c = LruCache::new(0);
+        assert!(c.insert(1, "a").is_some());
+        assert!(c.get(&1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn churn_keeps_len_bounded_and_consistent() {
+        let mut c = LruCache::new(8);
+        for i in 0..1000usize {
+            c.insert(i % 13, i);
+            assert!(c.len() <= 8);
+            // The most recent insert must always be retrievable.
+            assert_eq!(c.get(&(i % 13)), Some(&i));
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.capacity(), 8);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

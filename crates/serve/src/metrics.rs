@@ -1,0 +1,237 @@
+//! Lock-free serving metrics with a plain-text exposition format.
+//!
+//! Counters are relaxed atomics — metrics are observability, not
+//! synchronization — and histograms are fixed cumulative buckets in the
+//! Prometheus style (`le` upper bounds, `+Inf` implicit in `_count`),
+//! so `GET /metrics` renders without stopping the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Upper bounds (inclusive) of the request-latency buckets, microseconds.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+/// Upper bounds (inclusive) of the batch-size buckets, requests.
+pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// A fixed-bucket cumulative histogram.
+#[derive(Debug)]
+pub struct Histogram<const N: usize> {
+    buckets: [AtomicU64; N],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl<const N: usize> Default for Histogram<N> {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<const N: usize> Histogram<N> {
+    /// Records one observation.
+    pub fn observe(&self, value: u64, bounds: &[u64; N]) {
+        for (bucket, &bound) in self.buckets.iter().zip(bounds) {
+            if value <= bound {
+                bucket.fetch_add(1, Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    fn render_into(&self, out: &mut String, name: &str, bounds: &[u64; N]) {
+        use std::fmt::Write;
+        for (bucket, bound) in self.buckets.iter().zip(bounds) {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{bound}\"}} {}",
+                bucket.load(Relaxed)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count());
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// All counters the serving subsystem exports.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `GET /recommend` requests.
+    pub recommend_requests: AtomicU64,
+    /// `GET /healthz` requests.
+    pub healthz_requests: AtomicU64,
+    /// `GET /metrics` requests.
+    pub metrics_requests: AtomicU64,
+    /// `POST /admin/reload` requests.
+    pub reload_requests: AtomicU64,
+    /// Responses by status class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (including 400s for malformed requests).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses.
+    pub responses_5xx: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Forward passes executed by the micro-batcher.
+    pub batches: AtomicU64,
+    /// Requests served through those batches.
+    pub batched_requests: AtomicU64,
+    /// Successful hot-reloads.
+    pub reloads_ok: AtomicU64,
+    /// Rejected hot-reloads (bad checkpoint kept the old model).
+    pub reloads_failed: AtomicU64,
+    /// Batch-size distribution.
+    pub batch_size: Histogram<7>,
+    /// `/recommend` latency distribution, microseconds.
+    pub latency_us: Histogram<10>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a response status for the by-class counters.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Cache hit rate over all lookups so far, in [0, 1].
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Relaxed) as f64;
+        let total = hits + self.cache_misses.load(Relaxed) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Renders the plain-text exposition, with current gauges supplied
+    /// by the server (model epoch, live cache entries).
+    pub fn render(&self, model_epoch: u64, cache_len: usize) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, v: u64| {
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            "st_serve_requests_total{route=\"recommend\"}",
+            self.recommend_requests.load(Relaxed),
+        );
+        counter(
+            "st_serve_requests_total{route=\"healthz\"}",
+            self.healthz_requests.load(Relaxed),
+        );
+        counter(
+            "st_serve_requests_total{route=\"metrics\"}",
+            self.metrics_requests.load(Relaxed),
+        );
+        counter(
+            "st_serve_requests_total{route=\"reload\"}",
+            self.reload_requests.load(Relaxed),
+        );
+        counter(
+            "st_serve_responses_total{class=\"2xx\"}",
+            self.responses_2xx.load(Relaxed),
+        );
+        counter(
+            "st_serve_responses_total{class=\"4xx\"}",
+            self.responses_4xx.load(Relaxed),
+        );
+        counter(
+            "st_serve_responses_total{class=\"5xx\"}",
+            self.responses_5xx.load(Relaxed),
+        );
+        counter("st_serve_cache_hits_total", self.cache_hits.load(Relaxed));
+        counter(
+            "st_serve_cache_misses_total",
+            self.cache_misses.load(Relaxed),
+        );
+        counter("st_serve_batches_total", self.batches.load(Relaxed));
+        counter(
+            "st_serve_batched_requests_total",
+            self.batched_requests.load(Relaxed),
+        );
+        counter("st_serve_reloads_ok_total", self.reloads_ok.load(Relaxed));
+        counter(
+            "st_serve_reloads_failed_total",
+            self.reloads_failed.load(Relaxed),
+        );
+        let _ = writeln!(out, "st_serve_cache_hit_rate {}", self.cache_hit_rate());
+        let _ = writeln!(out, "st_serve_model_epoch {model_epoch}");
+        let _ = writeln!(out, "st_serve_cache_entries {cache_len}");
+        self.batch_size
+            .render_into(&mut out, "st_serve_batch_size", &BATCH_BUCKETS);
+        self.latency_us
+            .render_into(&mut out, "st_serve_request_latency_us", &LATENCY_BUCKETS_US);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h: Histogram<7> = Histogram::default();
+        h.observe(1, &BATCH_BUCKETS);
+        h.observe(3, &BATCH_BUCKETS);
+        h.observe(1000, &BATCH_BUCKETS); // above every bound: only +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1004);
+        let mut out = String::new();
+        h.render_into(&mut out, "x", &BATCH_BUCKETS);
+        assert!(out.contains("x_bucket{le=\"1\"} 1"));
+        assert!(out.contains("x_bucket{le=\"4\"} 2"));
+        assert!(out.contains("x_bucket{le=\"64\"} 2"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("x_count 3"));
+    }
+
+    #[test]
+    fn render_exposes_all_families() {
+        let m = Metrics::new();
+        m.recommend_requests.fetch_add(2, Relaxed);
+        m.record_status(200);
+        m.record_status(400);
+        m.record_status(500);
+        m.cache_hits.fetch_add(1, Relaxed);
+        m.cache_misses.fetch_add(3, Relaxed);
+        let text = m.render(7, 42);
+        assert!(text.contains("st_serve_requests_total{route=\"recommend\"} 2"));
+        assert!(text.contains("st_serve_responses_total{class=\"2xx\"} 1"));
+        assert!(text.contains("st_serve_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("st_serve_responses_total{class=\"5xx\"} 1"));
+        assert!(text.contains("st_serve_cache_hit_rate 0.25"));
+        assert!(text.contains("st_serve_model_epoch 7"));
+        assert!(text.contains("st_serve_cache_entries 42"));
+        assert!(text.contains("st_serve_request_latency_us_count 0"));
+    }
+}

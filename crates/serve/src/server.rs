@@ -1,0 +1,475 @@
+//! The HTTP serving engine: routing, worker pool, cache, and reload.
+//!
+//! Four routes:
+//!
+//! - `GET /recommend?user=U&city=C&k=K` — top-k POIs for a user in a
+//!   city, answered from the LRU result cache or the micro-batcher.
+//! - `GET /healthz` — liveness plus the current model epoch.
+//! - `GET /metrics` — plain-text counters and histograms.
+//! - `POST /admin/reload` — checkpoint hot-reload; failure keeps the
+//!   old model and reports `500`.
+//!
+//! A fixed pool of worker threads pulls accepted connections off a
+//! channel and speaks keep-alive HTTP/1.1; malformed requests get `400`
+//! and the connection is closed. Responses carry `X-Cache: HIT|MISS` and
+//! `X-Model-Epoch` headers so clients (and the load generator) can see
+//! cache and reload behaviour without parsing bodies.
+
+use crate::batcher::{BatchConfig, BatchRequest, MicroBatcher};
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::lru::LruCache;
+use crate::metrics::{Metrics, LATENCY_BUCKETS_US};
+use crate::snapshot::{ModelCell, Reloader};
+use st_data::{CityId, Dataset, UserId};
+use st_transrec_core::{Recommendation, STTransRec};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Cache key: a result is only reusable for the exact same question
+/// answered by the exact same model generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    user: UserId,
+    city: CityId,
+    k: usize,
+    epoch: u64,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Micro-batching window and batch cap.
+    pub batch: BatchConfig,
+    /// LRU result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Poll interval for the checkpoint-mtime watcher; `None` disables
+    /// the watcher (reloads happen only via `POST /admin/reload`).
+    pub watch_interval: Option<Duration>,
+    /// Keep-alive idle timeout per connection.
+    pub idle_timeout: Duration,
+    /// Default `k` when the query omits it.
+    pub default_k: usize,
+    /// Largest accepted `k`.
+    pub max_k: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            batch: BatchConfig::default(),
+            cache_capacity: 4096,
+            watch_interval: None,
+            idle_timeout: Duration::from_secs(5),
+            default_k: 10,
+            max_k: 1000,
+        }
+    }
+}
+
+/// Everything the request handlers share.
+pub struct Engine {
+    dataset: Arc<Dataset>,
+    cell: Arc<ModelCell>,
+    reloader: Option<Reloader>,
+    cache: Mutex<LruCache<CacheKey, Arc<str>>>,
+    metrics: Arc<Metrics>,
+    batcher: MicroBatcher,
+    default_k: usize,
+    max_k: usize,
+}
+
+impl Engine {
+    /// Builds an engine around an already loaded model. `reloader` is
+    /// `None` when no checkpoint path is configured (reload disabled).
+    pub fn new(
+        dataset: Arc<Dataset>,
+        model: STTransRec,
+        reloader: Option<Reloader>,
+        config: &ServeConfig,
+    ) -> Arc<Self> {
+        let cell = Arc::new(ModelCell::new(model));
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::start(cell.clone(), metrics.clone(), config.batch);
+        Arc::new(Self {
+            dataset,
+            cell,
+            reloader,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            metrics,
+            batcher,
+            default_k: config.default_k,
+            max_k: config.max_k,
+        })
+    }
+
+    /// The serving metrics (shared with the batcher).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current model epoch.
+    pub fn model_epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// The model cell (snapshot access for tests and embedding tools).
+    pub fn cell(&self) -> &Arc<ModelCell> {
+        &self.cell
+    }
+
+    /// Hot-reloads the checkpoint, returning the new epoch.
+    pub fn reload(&self) -> std::io::Result<u64> {
+        let reloader = self.reloader.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "no checkpoint configured for reload",
+            )
+        })?;
+        match reloader.reload_into(&self.cell) {
+            Ok(epoch) => {
+                self.metrics.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(epoch)
+            }
+            Err(e) => {
+                self.metrics.reloads_failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/recommend") => self.handle_recommend(req),
+            ("GET", "/healthz") => {
+                self.metrics
+                    .healthz_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"status\":\"ok\",\"model_epoch\":{}}}",
+                        self.cell.epoch()
+                    ),
+                )
+            }
+            ("GET", "/metrics") => {
+                self.metrics
+                    .metrics_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let cache_len = self.cache.lock().expect("cache poisoned").len();
+                Response::text(200, self.metrics.render(self.cell.epoch(), cache_len))
+            }
+            ("POST", "/admin/reload") => {
+                self.metrics.reload_requests.fetch_add(1, Ordering::Relaxed);
+                match self.reload() {
+                    Ok(epoch) => Response::json(
+                        200,
+                        format!("{{\"reloaded\":true,\"model_epoch\":{epoch}}}"),
+                    ),
+                    Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                        Response::error(409, &e.to_string())
+                    }
+                    Err(e) => Response::error(500, &format!("reload rejected: {e}")),
+                }
+            }
+            (_, "/recommend") | (_, "/healthz") | (_, "/metrics") | (_, "/admin/reload") => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, &format!("no route for {}", req.path)),
+        }
+    }
+
+    fn handle_recommend(&self, req: &Request) -> Response {
+        self.metrics
+            .recommend_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let response = self.recommend_response(req);
+        let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.metrics
+            .latency_us
+            .observe(elapsed_us, &LATENCY_BUCKETS_US);
+        response
+    }
+
+    fn recommend_response(&self, req: &Request) -> Response {
+        // Parse and validate request input; none of it may panic.
+        let user = match req.query_param("user").map(str::parse::<u32>) {
+            Some(Ok(u)) => UserId(u),
+            Some(Err(_)) => return Response::error(400, "user must be a non-negative integer"),
+            None => return Response::error(400, "missing query parameter: user"),
+        };
+        let city = match req.query_param("city").map(str::parse::<u16>) {
+            Some(Ok(c)) => CityId(c),
+            Some(Err(_)) => return Response::error(400, "city must be a non-negative integer"),
+            None => return Response::error(400, "missing query parameter: city"),
+        };
+        let k = match req.query_param("k").map(str::parse::<usize>) {
+            Some(Ok(k)) => k,
+            Some(Err(_)) => return Response::error(400, "k must be a non-negative integer"),
+            None => self.default_k,
+        };
+        if k > self.max_k {
+            return Response::error(400, &format!("k exceeds maximum {}", self.max_k));
+        }
+        if user.idx() >= self.dataset.num_users() {
+            return Response::error(404, &format!("unknown user {}", user.0));
+        }
+        if (city.0 as usize) >= self.dataset.cities().len() {
+            return Response::error(404, &format!("unknown city {}", city.0));
+        }
+
+        // Cache lookup under the current epoch.
+        let key = CacheKey {
+            user,
+            city,
+            k,
+            epoch: self.cell.epoch(),
+        };
+        if let Some(body) = self.cache.lock().expect("cache poisoned").get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::json(200, body.as_bytes().to_vec())
+                .with_header("X-Cache", "HIT")
+                .with_header("X-Model-Epoch", &key.epoch.to_string());
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Miss: score through the micro-batcher.
+        let candidates = Arc::new(self.dataset.pois_in_city(city).to_vec());
+        let Some(reply) = self.batcher.submit(BatchRequest {
+            user,
+            candidates,
+            k,
+        }) else {
+            return Response::error(503, "server shutting down");
+        };
+        let body: Arc<str> = render_recommend_body(user, city, k, reply.epoch, &reply.recs).into();
+        self.cache.lock().expect("cache poisoned").insert(
+            CacheKey {
+                user,
+                city,
+                k,
+                // Key by the epoch that actually scored the batch: a
+                // reload racing this request must not poison the new
+                // generation's cache with old-model results.
+                epoch: reply.epoch,
+            },
+            body.clone(),
+        );
+        Response::json(200, body.as_bytes().to_vec())
+            .with_header("X-Cache", "MISS")
+            .with_header("X-Model-Epoch", &reply.epoch.to_string())
+    }
+}
+
+/// Renders the `/recommend` response body. Scores print via Rust's
+/// shortest-roundtrip float formatting, so parsing them back yields the
+/// bit-identical `f32` the scorer produced.
+pub fn render_recommend_body(
+    user: UserId,
+    city: CityId,
+    k: usize,
+    epoch: u64,
+    recs: &[Recommendation],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(64 + recs.len() * 32);
+    let _ = write!(
+        out,
+        "{{\"user\":{},\"city\":{},\"k\":{k},\"model_epoch\":{epoch},\"recommendations\":[",
+        user.0, city.0
+    );
+    for (i, r) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"poi\":{},\"score\":{}}}", r.poi.0, r.score);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// the listener, workers, batcher, and watcher.
+pub struct Server {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    watcher_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `engine` under `config`.
+    pub fn start(engine: Arc<Engine>, config: &ServeConfig) -> std::io::Result<Server> {
+        let listener =
+            TcpListener::bind(config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad addr")
+            })?)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Fixed worker pool fed by an accept thread over a channel.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers = config.workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = conn_rx.clone();
+            let engine = engine.clone();
+            let idle = config.idle_timeout;
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("st-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = rx.lock().expect("conn rx poisoned").recv();
+                        match conn {
+                            Ok(stream) => handle_connection(&engine, stream, idle),
+                            Err(_) => return, // accept thread gone: shutdown
+                        }
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept_stop = stop.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("st-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::Acquire) {
+                        break; // the shutdown self-connection lands here
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping conn_tx unblocks every worker.
+            })
+            .expect("spawn accept thread");
+
+        let watcher_handle = match (config.watch_interval, engine.reloader.is_some()) {
+            (Some(interval), true) => {
+                let engine = engine.clone();
+                let stop = stop.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("st-serve-watcher".into())
+                        .spawn(move || {
+                            while !stop.load(Ordering::Acquire) {
+                                std::thread::sleep(interval);
+                                let Some(reloader) = engine.reloader.as_ref() else {
+                                    return;
+                                };
+                                if reloader.mtime_changed() {
+                                    // A broken half-written checkpoint is
+                                    // rejected; the next tick retries.
+                                    let _ = engine.reload();
+                                }
+                            }
+                        })
+                        .expect("spawn watcher"),
+                )
+            }
+            _ => None,
+        };
+
+        Ok(Server {
+            addr,
+            engine,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            watcher_handle,
+        })
+    }
+
+    /// The bound address (use this to learn an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Blocks the calling thread until the server stops.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, drains workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Serves one connection: keep-alive request loop with an idle timeout.
+fn handle_connection(engine: &Engine, stream: TcpStream, idle_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(req)) => {
+                let response = engine.route(&req);
+                engine.metrics.record_status(response.status);
+                let keep_alive = !req.wants_close();
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(ParseError::Malformed(msg)) => {
+                let response = Response::error(400, &msg);
+                engine.metrics.record_status(400);
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+            Err(ParseError::Io(_)) => return, // timeout or peer reset
+        }
+    }
+}

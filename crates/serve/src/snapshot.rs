@@ -1,0 +1,192 @@
+//! Arc-swapped model snapshots and checkpoint hot-reload.
+//!
+//! The serving model lives behind a [`ModelCell`]: readers clone an
+//! `Arc<ModelSnapshot>` under a briefly held read lock and then score
+//! against an immutable model with no lock held, so a reload never
+//! blocks or drops in-flight requests — batches that grabbed the old
+//! snapshot finish on it, later batches see the new one. Each swap bumps
+//! a monotone `epoch`, which the result cache folds into its key: after
+//! a reload every cached entry is unreachable immediately (invalidation
+//! is free) and LRU pressure reclaims the slots.
+//!
+//! [`Reloader`] rebuilds an [`STTransRec`] from the dataset/split/config
+//! the server was launched with and restores checkpoint bytes from
+//! disk. A corrupt or truncated checkpoint surfaces as `io::Error`
+//! *before* any swap happens, so the old model keeps serving.
+
+use st_data::{CrossingCitySplit, Dataset};
+use st_transrec_core::{ModelConfig, STTransRec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::SystemTime;
+
+/// One immutable generation of the serving model.
+pub struct ModelSnapshot {
+    /// The model all requests of this generation score against.
+    pub model: STTransRec,
+    /// Monotone generation number, starting at 1.
+    pub epoch: u64,
+}
+
+/// The atomically swappable current snapshot.
+pub struct ModelCell {
+    current: RwLock<Arc<ModelSnapshot>>,
+    epoch: AtomicU64,
+}
+
+impl ModelCell {
+    /// Wraps `model` as epoch 1.
+    pub fn new(model: STTransRec) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(ModelSnapshot { model, epoch: 1 })),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    /// The current snapshot. Cheap: one read-lock acquisition and an
+    /// `Arc` clone; scoring happens after the lock is released.
+    pub fn current(&self) -> Arc<ModelSnapshot> {
+        self.current.read().expect("model cell poisoned").clone()
+    }
+
+    /// Current epoch without taking the snapshot lock.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the model, returning the new epoch. In-flight
+    /// holders of the old `Arc` keep scoring against the old weights.
+    pub fn swap(&self, model: STTransRec) -> u64 {
+        let mut guard = self.current.write().expect("model cell poisoned");
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(ModelSnapshot { model, epoch });
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+}
+
+/// Rebuilds and restores models from a checkpoint file on demand.
+pub struct Reloader {
+    dataset: Arc<Dataset>,
+    split: Arc<CrossingCitySplit>,
+    config: ModelConfig,
+    path: PathBuf,
+    /// Modification time of the last checkpoint we loaded (for the
+    /// mtime watcher); `None` until the first load through this reloader.
+    last_mtime: Mutex<Option<SystemTime>>,
+}
+
+impl Reloader {
+    /// Creates a reloader for `path` with the architecture the server
+    /// was launched with (a checkpoint can only restore into an
+    /// identically shaped model).
+    pub fn new(
+        dataset: Arc<Dataset>,
+        split: Arc<CrossingCitySplit>,
+        config: ModelConfig,
+        path: impl Into<PathBuf>,
+    ) -> Self {
+        Self {
+            dataset,
+            split,
+            config,
+            path: path.into(),
+            last_mtime: Mutex::new(None),
+        }
+    }
+
+    /// The checkpoint path being watched.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the checkpoint into a freshly built model. Any failure —
+    /// missing file, corrupt bytes, architecture mismatch — returns
+    /// `Err` without touching the cell it would have been swapped into.
+    pub fn load(&self) -> std::io::Result<STTransRec> {
+        let mtime = std::fs::metadata(&self.path)
+            .and_then(|m| m.modified())
+            .ok();
+        let file = std::fs::File::open(&self.path)?;
+        let mut model = STTransRec::new(&self.dataset, &self.split, self.config.clone());
+        model.restore(std::io::BufReader::new(file))?;
+        *self.last_mtime.lock().expect("mtime lock poisoned") = mtime;
+        Ok(model)
+    }
+
+    /// Loads and swaps in one step, returning the new epoch.
+    pub fn reload_into(&self, cell: &ModelCell) -> std::io::Result<u64> {
+        let model = self.load()?;
+        Ok(cell.swap(model))
+    }
+
+    /// True when the checkpoint file's mtime differs from the last load
+    /// (the mtime watcher's trigger). Unreadable metadata reads as
+    /// "unchanged" so a transient stat failure does not force a reload.
+    pub fn mtime_changed(&self) -> bool {
+        let Ok(meta) = std::fs::metadata(&self.path) else {
+            return false;
+        };
+        let Ok(mtime) = meta.modified() else {
+            return false;
+        };
+        *self.last_mtime.lock().expect("mtime lock poisoned") != Some(mtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::CityId;
+    use st_data::UserId;
+    use st_eval::Scorer;
+
+    fn setup() -> (Arc<Dataset>, Arc<CrossingCitySplit>) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (Arc::new(d), Arc::new(split))
+    }
+
+    #[test]
+    fn swap_bumps_epoch_and_old_arcs_survive() {
+        let (d, s) = setup();
+        let cell = ModelCell::new(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        assert_eq!(cell.epoch(), 1);
+        let old = cell.current();
+        let epoch = cell.swap(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        assert_eq!(epoch, 2);
+        assert_eq!(cell.epoch(), 2);
+        assert_eq!(old.epoch, 1);
+        // The old snapshot still scores after the swap.
+        let pois = d.pois_in_city(s.target_city);
+        let _ = old.model.score_batch(UserId(0), pois);
+    }
+
+    #[test]
+    fn reloader_rejects_corrupt_checkpoint_without_swapping() {
+        let (d, s) = setup();
+        let dir = std::env::temp_dir().join(format!("st-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+
+        let mut trained = STTransRec::new(&d, &s, ModelConfig::test_small());
+        trained.train_epoch(&d);
+        let mut bytes = Vec::new();
+        trained.save(&mut bytes).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cell = ModelCell::new(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        let reloader = Reloader::new(d.clone(), s.clone(), ModelConfig::test_small(), &path);
+        assert_eq!(reloader.reload_into(&cell).unwrap(), 2);
+
+        // Corrupt the file: reload fails, epoch unchanged.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(reloader.reload_into(&cell).is_err());
+        assert_eq!(cell.epoch(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -48,6 +48,18 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+impl From<CheckpointError> for std::io::Error {
+    /// Collapses checkpoint failures into one `io::Error`, so callers on
+    /// a serving path (hot-reload) handle every corruption mode through a
+    /// single clean error type instead of a panic.
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
 /// Writes every parameter (name, shape, weights) to `out`.
 pub fn save_params<W: Write>(store: &ParamStore, mut out: W) -> std::io::Result<()> {
     out.write_all(MAGIC)?;
@@ -101,11 +113,22 @@ pub fn load_params<R: Read>(mut input: R) -> Result<ParamStore, CheckpointError>
         if len > 1 << 30 {
             return Err(CheckpointError::Corrupt("implausible matrix size".into()));
         }
-        let mut data = vec![0f32; len];
-        let mut buf = [0u8; 4];
-        for x in &mut data {
-            input.read_exact(&mut buf)?;
-            *x = f32::from_le_bytes(buf);
+        // Read weights incrementally: `len` comes from untrusted bytes,
+        // so a corrupt shape must fail at EOF instead of first committing
+        // to a multi-gigabyte zeroed buffer the stream cannot back.
+        const CHUNK: usize = 1024;
+        let mut data: Vec<f32> = Vec::with_capacity(len.min(CHUNK));
+        let mut bytes = [0u8; 4 * CHUNK];
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            let buf = &mut bytes[..4 * take];
+            input.read_exact(buf)?;
+            data.extend(
+                buf.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+            );
+            remaining -= take;
         }
         store.register_value(name, Matrix::from_vec(rows, cols, data));
     }
