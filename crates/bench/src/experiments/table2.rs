@@ -51,7 +51,7 @@ pub fn run(loaded: &Loaded, epochs_to_time: usize) -> Table2Row {
     let time_with = |workers: usize| -> f64 {
         let mut model =
             STTransRec::new(&loaded.dataset, &loaded.split, loaded.model_config.clone());
-        let trainer = ParallelTrainer::new(workers);
+        let mut trainer = ParallelTrainer::new(workers);
         // One warm-up epoch (allocator, caches), then timed epochs.
         trainer.train_epoch(&mut model, &loaded.dataset);
         let mut total = 0.0;

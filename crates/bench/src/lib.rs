@@ -19,6 +19,7 @@ pub mod perf;
 pub mod runner;
 pub mod serve_load;
 pub mod table;
+pub mod train_perf;
 
 pub use runner::{dataset_config, eval_config, load, neural_config, DatasetKind, Loaded};
 pub use table::{render_metric_table, render_rows, save_json};

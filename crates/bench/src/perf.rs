@@ -295,7 +295,7 @@ pub fn epoch_suite(worker_counts: &[usize]) -> Vec<EpochBench> {
         .iter()
         .map(|&workers| {
             let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
-            let trainer = ParallelTrainer::new(workers);
+            let mut trainer = ParallelTrainer::new(workers);
             // Warm-up epoch populates the per-worker pools' shapes.
             trainer.train_epoch(&mut model, &dataset);
             let timed = trainer.train_epoch(&mut model, &dataset);

@@ -76,6 +76,18 @@ pub struct ModelConfig {
     pub variant: Variant,
     /// RNG seed for initialization and batch sampling.
     pub seed: u64,
+    /// Row-sparse gradient buffers: embedding gradients store only the
+    /// rows a step touched, so per-step cost and memory scale with the
+    /// batch, not the table. `false` forces the dense-oracle buffers.
+    pub sparse_gradients: bool,
+    /// Lazy Adam: untouched embedding rows cost nothing per step, with
+    /// decayed-moment catch-up when next touched (see st-tensor's optim
+    /// docs for the exact semantics). `false` selects the dense oracle
+    /// that walks every weight of every touched parameter.
+    pub lazy_optimizer: bool,
+    /// Row-range shards for the optimizer apply on large embedding
+    /// tables (1 = single-threaded; must be >= 1).
+    pub optimizer_shards: usize,
 }
 
 impl ModelConfig {
@@ -106,6 +118,9 @@ impl ModelConfig {
             unigram_power: 0.75,
             variant: Variant::Full,
             seed: 1,
+            sparse_gradients: true,
+            lazy_optimizer: true,
+            optimizer_shards: 1,
         }
     }
 
@@ -137,6 +152,9 @@ impl ModelConfig {
             unigram_power: 0.75,
             variant: Variant::Full,
             seed: 1,
+            sparse_gradients: true,
+            lazy_optimizer: true,
+            optimizer_shards: 1,
         }
     }
 
@@ -163,6 +181,9 @@ impl ModelConfig {
             unigram_power: 0.75,
             variant: Variant::Full,
             seed: 1,
+            sparse_gradients: true,
+            lazy_optimizer: true,
+            optimizer_shards: 1,
         }
     }
 
@@ -235,6 +256,7 @@ impl ModelConfig {
         assert!((0.0..1.0).contains(&self.dropout));
         assert!(self.mmd_sigma > 0.0);
         assert!(self.lambda >= 0.0);
+        assert!(self.optimizer_shards >= 1, "optimizer_shards must be >= 1");
     }
 }
 

@@ -5,6 +5,14 @@
 //! joint gradients on its own mini-batches against the shared, read-only
 //! parameter snapshot. Gradients are averaged and applied once — exactly
 //! the synchronous multi-GPU semantics whose ~2x scaling Table 2 reports.
+//!
+//! The trainer is stateful: it keeps one [`MatrixPool`] and one
+//! [`Gradients`] buffer per worker across steps and epochs, so after the
+//! first step the hot loop neither allocates tape intermediates nor
+//! zero-fills gradient storage. Worker results are combined with
+//! [`Gradients::merge_from`], which **moves** slots instead of cloning —
+//! with row-sparse buffers the merge cost is O(touched rows), never
+//! O(table).
 
 use crate::model::{EpochStats, STTransRec, StepLosses};
 use rand::rngs::SmallRng;
@@ -14,9 +22,14 @@ use st_tensor::{Gradients, MatrixPool};
 use std::time::{Duration, Instant};
 
 /// Data-parallel trainer over `workers` threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct ParallelTrainer {
     workers: usize,
+    /// One tape-buffer pool per worker, reused across steps.
+    pools: Vec<MatrixPool>,
+    /// One gradient buffer per worker, cleared (storage retained) after
+    /// each step.
+    grads: Vec<Gradients>,
 }
 
 impl ParallelTrainer {
@@ -24,7 +37,11 @@ impl ParallelTrainer {
     /// baseline column of Table 2).
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        Self { workers }
+        Self {
+            workers,
+            pools: (0..workers).map(|_| MatrixPool::new()).collect(),
+            grads: Vec::new(),
+        }
     }
 
     /// Worker count.
@@ -32,50 +49,54 @@ impl ParallelTrainer {
         self.workers
     }
 
-    /// One synchronous step: every worker computes a full joint-loss
-    /// gradient on its own batches; gradients are averaged and applied.
-    pub fn train_step(
-        &self,
-        model: &mut STTransRec,
-        dataset: &Dataset,
-        master_rng: &mut SmallRng,
-    ) -> StepLosses {
-        let mut pools: Vec<MatrixPool> = (0..self.workers).map(|_| MatrixPool::new()).collect();
-        self.step_with_pools(model, dataset, master_rng, &mut pools)
+    /// Primes the per-worker gradient buffers for `model` (the buffers
+    /// follow the model's configured representation). Buffers left over
+    /// from a previous step are kept; a buffer whose arity does not match
+    /// the model (different store, defaulted trainer) is replaced.
+    fn ensure_buffers(&mut self, model: &STTransRec) {
+        let arity = model.params().len();
+        while self.grads.len() < self.workers {
+            self.grads.push(model.new_grad_buffer());
+        }
+        for g in &mut self.grads {
+            if g.arity() != arity {
+                *g = model.new_grad_buffer();
+            }
+        }
     }
 
-    /// One synchronous step where worker `i` draws tape buffers from
-    /// `pools[i]`. [`ParallelTrainer::train_epoch`] keeps the pools alive
-    /// across steps so each worker reaches an allocation-free steady state.
-    fn step_with_pools(
-        &self,
+    /// One synchronous step: every worker computes a full joint-loss
+    /// gradient on its own batches; gradients are averaged and applied.
+    /// Worker pools and gradient buffers persist across calls.
+    pub fn train_step(
+        &mut self,
         model: &mut STTransRec,
         dataset: &Dataset,
         master_rng: &mut SmallRng,
-        pools: &mut [MatrixPool],
     ) -> StepLosses {
-        assert_eq!(pools.len(), self.workers, "one pool per worker");
+        self.ensure_buffers(model);
         let seeds: Vec<u64> = (0..self.workers).map(|_| master_rng.gen()).collect();
-        let (merged, losses) = {
+        let losses = {
             let shared: &STTransRec = model;
             if self.workers == 1 {
-                let mut grads = Gradients::zeros_like(shared.params());
                 let mut rng = SmallRng::seed_from_u64(seeds[0]);
-                let losses =
-                    shared.accumulate_step_with_pool(dataset, &mut grads, &mut rng, &mut pools[0]);
-                (grads, vec![losses])
+                let losses = shared.accumulate_step_with_pool(
+                    dataset,
+                    &mut self.grads[0],
+                    &mut rng,
+                    &mut self.pools[0],
+                );
+                vec![losses]
             } else {
-                let results = std::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = seeds
                         .iter()
-                        .zip(pools.iter_mut())
-                        .map(|(&seed, pool)| {
+                        .zip(self.pools.iter_mut())
+                        .zip(self.grads.iter_mut())
+                        .map(|((&seed, pool), grads)| {
                             scope.spawn(move || {
-                                let mut grads = Gradients::zeros_like(shared.params());
                                 let mut rng = SmallRng::seed_from_u64(seed);
-                                let losses = shared
-                                    .accumulate_step_with_pool(dataset, &mut grads, &mut rng, pool);
-                                (grads, losses)
+                                shared.accumulate_step_with_pool(dataset, grads, &mut rng, pool)
                             })
                         })
                         .collect();
@@ -83,33 +104,39 @@ impl ParallelTrainer {
                         .into_iter()
                         .map(|h| h.join().expect("worker panicked"))
                         .collect::<Vec<_>>()
-                });
-                let mut iter = results.into_iter();
-                let (mut merged, first_losses) = iter.next().expect("at least one worker");
-                let mut losses = vec![first_losses];
-                for (g, l) in iter {
-                    merged.merge(&g);
-                    losses.push(l);
-                }
-                merged.scale(1.0 / self.workers as f32);
-                (merged, losses)
+                })
             }
         };
+        // Move worker 0's buffer out, fold the rest in slot-by-slot (no
+        // clones, sparse stays sparse), average, apply, and hand the
+        // cleared union buffer back to worker 0 so its row capacity grows
+        // toward the steady-state touch pattern.
+        let mut merged = std::mem::take(&mut self.grads[0]);
+        for g in &mut self.grads[1..] {
+            merged.merge_from(std::mem::take(g));
+        }
+        if self.workers > 1 {
+            merged.scale(1.0 / self.workers as f32);
+        }
         model.apply(&merged);
+        merged.clear();
+        self.grads[0] = merged;
+        // Workers 1.. lost their buffers to the merge; re-prime them so
+        // the next step's threads start with matching arity.
+        self.ensure_buffers(model);
         average_losses(&losses)
     }
 
     /// One epoch. With `w` workers, each step consumes `w` batches, so the
     /// per-epoch step count shrinks by `w` — same data budget, less wall
     /// clock, which is what Table 2 measures.
-    pub fn train_epoch(&self, model: &mut STTransRec, dataset: &Dataset) -> TimedEpoch {
+    pub fn train_epoch(&mut self, model: &mut STTransRec, dataset: &Dataset) -> TimedEpoch {
         let steps = (model.steps_per_epoch() / self.workers).max(1);
         let mut master_rng = SmallRng::seed_from_u64(model.config().seed ^ 0x9E3779B97F4A7C15);
-        let mut pools: Vec<MatrixPool> = (0..self.workers).map(|_| MatrixPool::new()).collect();
         let start = Instant::now();
         let mut sum = StepLosses::default();
         for _ in 0..steps {
-            let l = self.step_with_pools(model, dataset, &mut master_rng, &mut pools);
+            let l = self.train_step(model, dataset, &mut master_rng);
             sum.interaction_source += l.interaction_source;
             sum.interaction_target += l.interaction_target;
             sum.context_source += l.context_source;
@@ -173,7 +200,7 @@ mod tests {
     fn parallel_step_trains_and_stays_finite() {
         let (d, split) = setup();
         let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
-        let trainer = ParallelTrainer::new(2);
+        let mut trainer = ParallelTrainer::new(2);
         let mut rng = SmallRng::seed_from_u64(0);
         let l = trainer.train_step(&mut m, &d, &mut rng);
         assert!(l.interaction_source.is_finite() && l.interaction_source > 0.0);
@@ -193,7 +220,7 @@ mod tests {
     fn parallel_training_converges_like_sequential() {
         let (d, split) = setup();
         let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
-        let trainer = ParallelTrainer::new(2);
+        let mut trainer = ParallelTrainer::new(2);
         let first = trainer.train_epoch(&mut m, &d).stats.losses;
         for _ in 0..2 {
             trainer.train_epoch(&mut m, &d);
@@ -202,6 +229,31 @@ mod tests {
         let f = first.interaction_source + first.interaction_target;
         let l = last.interaction_source + last.interaction_target;
         assert!(l < f, "parallel training did not reduce loss: {f} -> {l}");
+    }
+
+    #[test]
+    fn trainer_buffers_stop_allocating_after_first_steps() {
+        // The per-worker gradient buffers keep their storage across steps:
+        // once the touch pattern stabilizes, allocated elements plateau.
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let mut trainer = ParallelTrainer::new(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..3 {
+            trainer.train_step(&mut m, &d, &mut rng);
+        }
+        let warmed: usize = trainer.grads.iter().map(Gradients::allocated_elems).sum();
+        for _ in 0..3 {
+            trainer.train_step(&mut m, &d, &mut rng);
+        }
+        let after: usize = trainer.grads.iter().map(Gradients::allocated_elems).sum();
+        assert!(warmed > 0, "buffers never materialized");
+        // Batches vary, so allow the union to keep growing a little, but
+        // it must stay the same order of magnitude (no per-step refill).
+        assert!(
+            after <= warmed * 2,
+            "gradient buffers kept reallocating: {warmed} -> {after}"
+        );
     }
 
     #[test]

@@ -49,8 +49,7 @@ pub fn check_gradients(
         let name = store.name(id).to_string();
         let shape = store.get(id).shape();
         let analytic = grads
-            .get(id)
-            .cloned()
+            .to_dense(id)
             .unwrap_or_else(|| Matrix::zeros(shape.0, shape.1));
 
         let mut max_abs = 0.0f32;

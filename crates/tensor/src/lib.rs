@@ -61,6 +61,6 @@ pub use init::Init;
 pub use matrix::Matrix;
 pub use nn::{Activation, Embedding, Linear, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use params::{Gradients, ParamId, ParamStore};
+pub use params::{GradSlot, Gradients, ParamId, ParamStore, SparseRows};
 pub use pool::MatrixPool;
 pub use tape::{stable_sigmoid, Tape, Var};

@@ -3,9 +3,37 @@
 //! The paper trains ST-TransRec with Adam; plain SGD is provided for tests
 //! and baselines. Both apply a [`Gradients`] buffer produced by
 //! [`crate::Tape::backward`], skipping parameters that received no
-//! gradient in the step (sparse embedding updates).
+//! gradient in the step and — on the row-sparse gradient path — touching
+//! only the rows the step actually reached.
+//!
+//! ## Sparse-update semantics
+//!
+//! - **SGD** on a row-sparse slot is **bit-identical** to SGD on the
+//!   equivalent dense gradient when `weight_decay == 0` (untouched rows
+//!   see an exact `+(-lr)·0.0` no-op on the dense path). With
+//!   `weight_decay > 0`, decay applies only to touched rows, whereas the
+//!   dense path decays every row of a touched parameter.
+//! - **Lazy Adam** keeps a per-row last-update step and, when a row is
+//!   touched after `k` skipped steps, first decays its moments by
+//!   `beta^(k-1)` — exactly what `k-1` dense zero-gradient updates would
+//!   have left in the moment buffers. Rows touched on every step are
+//!   therefore **bit-identical** to dense Adam. Rows with skipped steps
+//!   match the moments exactly but skip the dense path's momentum-tail
+//!   parameter updates and AdamW decay on those steps; training-level
+//!   equivalence for that drift is covered by a convergence-parity test.
+//! - **Dense (non-lazy) Adam** is kept verbatim as the differential
+//!   oracle: row-sparse slots are materialized dense and walked element
+//!   by element, moment buffers and all.
+//!
+//! ## Sharded apply
+//!
+//! With [`Adam::with_shards`] > 1, the per-row update of large sparse
+//! slots is split by contiguous row range across `std::thread::scope`
+//! workers (disjoint `split_at_mut` slices of the parameter and moment
+//! buffers — no locks, no unsafe). Row updates are independent, so the
+//! result is bit-identical to the single-threaded apply.
 
-use crate::{Gradients, Matrix, ParamId, ParamStore};
+use crate::{GradSlot, Gradients, Matrix, ParamId, ParamStore, SparseRows};
 
 /// An optimizer that applies accumulated gradients to parameters.
 pub trait Optimizer {
@@ -36,8 +64,8 @@ impl Sgd {
         }
     }
 
-    /// Adds L2 weight decay (applied only to parameters that received
-    /// gradient, keeping embedding updates sparse).
+    /// Adds L2 weight decay (applied only to parameters/rows that
+    /// received gradient, keeping embedding updates sparse).
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         assert!(wd >= 0.0);
         self.weight_decay = wd;
@@ -47,16 +75,36 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
-        for (id, g) in grads.iter() {
+        let (lr, wd) = (self.lr, self.weight_decay);
+        let neg_lr = -lr;
+        for (id, slot) in grads.iter_slots() {
             let p = store.get_mut(id);
-            if self.weight_decay > 0.0 {
-                let wd = self.weight_decay;
-                let lr = self.lr;
-                for (w, &gv) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
-                    *w -= lr * (gv + wd * *w);
+            match slot {
+                GradSlot::Dense(g) => {
+                    if wd > 0.0 {
+                        for (w, &gv) in p.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                            *w -= lr * (gv + wd * *w);
+                        }
+                    } else {
+                        p.axpy(neg_lr, g);
+                    }
                 }
-            } else {
-                p.axpy(-self.lr, g);
+                GradSlot::Sparse(s) => {
+                    for (row, packed) in s.iter() {
+                        let pr = p.row_mut(row);
+                        if wd > 0.0 {
+                            for (w, &gv) in pr.iter_mut().zip(packed) {
+                                *w -= lr * (gv + wd * *w);
+                            }
+                        } else {
+                            // Mirrors axpy's `y += a*x` form so touched
+                            // rows are bit-identical to the dense path.
+                            for (w, &gv) in pr.iter_mut().zip(packed) {
+                                *w += neg_lr * gv;
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -70,7 +118,27 @@ impl Optimizer for Sgd {
     }
 }
 
+/// Below this many touched scalars a sharded apply is not worth the
+/// thread-spawn overhead and runs single-threaded.
+const MIN_SHARD_ELEMS: usize = 16_384;
+
+/// Hyperparameters snapshot passed into the (possibly threaded) row apply.
+#[derive(Clone, Copy)]
+struct AdamHyper {
+    lr: f32,
+    b1: f32,
+    b2: f32,
+    eps: f32,
+    wd: f32,
+    /// Per-parameter step count for bias correction.
+    t: u64,
+}
+
 /// Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// Supports two update modes for row-sparse gradients (see the module
+/// docs): the default **lazy** mode with per-row moment catch-up, and a
+/// **dense** oracle mode that reproduces the pre-sparse behaviour exactly.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
@@ -85,10 +153,19 @@ pub struct Adam {
     /// updates each parameter actually received, because embedding rows
     /// update sparsely).
     t: Vec<u64>,
+    /// Per-parameter, per-row step of the last update (lazy mode only):
+    /// the gap to the current step tells how many decay factors the
+    /// row's moments are behind.
+    last: Vec<Vec<u64>>,
+    /// Lazy per-row updates (true) vs dense-oracle updates (false).
+    lazy: bool,
+    /// Row-range shards for the sparse apply (1 = single-threaded).
+    shards: usize,
 }
 
 impl Adam {
-    /// Creates Adam with the paper-standard betas (0.9, 0.999) and eps 1e-8.
+    /// Creates Adam with the paper-standard betas (0.9, 0.999) and eps 1e-8,
+    /// in lazy mode with a single-threaded apply.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         Self {
@@ -100,6 +177,9 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
             t: Vec::new(),
+            last: Vec::new(),
+            lazy: true,
+            shards: 1,
         }
     }
 
@@ -118,53 +198,228 @@ impl Adam {
         self
     }
 
+    /// Selects lazy per-row updates (default) or the dense oracle that
+    /// materializes sparse gradients and walks every weight.
+    pub fn with_lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Shards the sparse-slot apply by row range across this many scoped
+    /// threads (1 = single-threaded; small slots stay single-threaded
+    /// regardless).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shards must be >= 1");
+        self.shards = shards;
+        self
+    }
+
+    /// True when per-row lazy updates are enabled.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
     fn ensure_state(&mut self, id: ParamId, shape: (usize, usize)) {
         let idx = id.index();
         if self.m.len() <= idx {
             self.m.resize(idx + 1, None);
             self.v.resize(idx + 1, None);
             self.t.resize(idx + 1, 0);
+            self.last.resize(idx + 1, Vec::new());
         }
         if self.m[idx].is_none() {
             self.m[idx] = Some(Matrix::zeros(shape.0, shape.1));
             self.v[idx] = Some(Matrix::zeros(shape.0, shape.1));
+            self.last[idx] = vec![0; shape.0];
+        }
+    }
+
+    /// The dense element walk shared by dense slots and the oracle path.
+    fn dense_update(&mut self, store: &mut ParamStore, id: ParamId, g: &Matrix) {
+        let idx = id.index();
+        let t = self.t[idx] as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let m = self.m[idx].as_mut().expect("state allocated");
+        let v = self.v[idx].as_mut().expect("state allocated");
+        let p = store.get_mut(id);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        for ((w, &gv), (mi, vi)) in p
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
+        {
+            *mi = b1 * *mi + (1.0 - b1) * gv;
+            *vi = b2 * *vi + (1.0 - b2) * gv * gv;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
+        }
+    }
+
+    /// Catches every row's moments up to step `t - 1` (lazy mode, ahead
+    /// of a full-matrix update): `k-1` skipped zero-gradient updates
+    /// collapse to one `beta^(k-1)` decay per moment.
+    fn catch_up_all_rows(&mut self, idx: usize, cols: usize) {
+        let t = self.t[idx];
+        let (b1, b2) = (self.beta1, self.beta2);
+        let m = self.m[idx].as_mut().expect("state allocated");
+        let v = self.v[idx].as_mut().expect("state allocated");
+        for (row, lastv) in self.last[idx].iter_mut().enumerate() {
+            let behind = t - 1 - (*lastv).min(t - 1);
+            if behind > 0 {
+                let (dm, dv) = (b1.powf(behind as f32), b2.powf(behind as f32));
+                for x in &mut m.as_mut_slice()[row * cols..(row + 1) * cols] {
+                    *x *= dm;
+                }
+                for x in &mut v.as_mut_slice()[row * cols..(row + 1) * cols] {
+                    *x *= dv;
+                }
+            }
+            *lastv = t;
+        }
+    }
+
+    /// Lazy per-row apply of a sparse slot, sharded by row range when the
+    /// touched volume is large enough.
+    fn sparse_update(&mut self, store: &mut ParamStore, id: ParamId, sr: &SparseRows) {
+        let idx = id.index();
+        let (_, cols) = store.get(id).shape();
+        // (table_row, packed_slot) in ascending row order, so contiguous
+        // chunks map to disjoint row ranges of the buffers.
+        let mut pairs: Vec<(usize, usize)> = sr
+            .row_ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, &row)| (row, slot))
+            .collect();
+        pairs.sort_unstable_by_key(|&(row, _)| row);
+        let hyper = AdamHyper {
+            lr: self.lr,
+            b1: self.beta1,
+            b2: self.beta2,
+            eps: self.eps,
+            wd: self.weight_decay,
+            t: self.t[idx],
+        };
+        let p = store.get_mut(id).as_mut_slice();
+        let m = self.m[idx]
+            .as_mut()
+            .expect("state allocated")
+            .as_mut_slice();
+        let v = self.v[idx]
+            .as_mut()
+            .expect("state allocated")
+            .as_mut_slice();
+        let last = self.last[idx].as_mut_slice();
+
+        let shards = self.shards.min(pairs.len()).max(1);
+        if shards == 1 || pairs.len() * cols < MIN_SHARD_ELEMS {
+            lazy_row_apply(p, m, v, last, 0, cols, &pairs, sr, hyper);
+            return;
+        }
+        let chunk = pairs.len().div_ceil(shards);
+        std::thread::scope(|scope| {
+            let (mut p, mut m, mut v, mut last) = (p, m, v, last);
+            let mut base = 0usize;
+            for pc in pairs.chunks(chunk) {
+                // This shard owns rows [base, hi]; cut the buffers there.
+                let hi = pc.last().expect("non-empty chunk").0;
+                let take = hi + 1 - base;
+                let (ps, pr) = p.split_at_mut(take * cols);
+                let (ms, mr) = m.split_at_mut(take * cols);
+                let (vs, vr) = v.split_at_mut(take * cols);
+                let (ls, lr_rest) = last.split_at_mut(take);
+                let shard_base = base;
+                scope
+                    .spawn(move || lazy_row_apply(ps, ms, vs, ls, shard_base, cols, pc, sr, hyper));
+                (p, m, v, last) = (pr, mr, vr, lr_rest);
+                base = hi + 1;
+            }
+        });
+    }
+}
+
+/// Updates the given `(table_row, packed_slot)` pairs against buffer
+/// slices that start at `base` table rows in: catch-up decay, then the
+/// standard Adam step. Row-independent, so shards compose bit-identically.
+#[allow(clippy::too_many_arguments)]
+fn lazy_row_apply(
+    p: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    last: &mut [u64],
+    base: usize,
+    cols: usize,
+    pairs: &[(usize, usize)],
+    sr: &SparseRows,
+    hp: AdamHyper,
+) {
+    let t = hp.t as f32;
+    let bc1 = 1.0 - hp.b1.powf(t);
+    let bc2 = 1.0 - hp.b2.powf(t);
+    for &(row, slot) in pairs {
+        let local = row - base;
+        let span = local * cols..(local + 1) * cols;
+        let (pm, mm, vm) = (&mut p[span.clone()], &mut m[span.clone()], &mut v[span]);
+        // k-1 skipped steps decay the moments by beta^(k-1) each.
+        let behind = hp.t - 1 - last[local].min(hp.t - 1);
+        if behind > 0 {
+            let (dm, dv) = (hp.b1.powf(behind as f32), hp.b2.powf(behind as f32));
+            for x in mm.iter_mut() {
+                *x *= dm;
+            }
+            for x in vm.iter_mut() {
+                *x *= dv;
+            }
+        }
+        last[local] = hp.t;
+        for ((w, &gv), (mi, vi)) in pm
+            .iter_mut()
+            .zip(sr.packed_row(slot))
+            .zip(mm.iter_mut().zip(vm.iter_mut()))
+        {
+            *mi = hp.b1 * *mi + (1.0 - hp.b1) * gv;
+            *vi = hp.b2 * *vi + (1.0 - hp.b2) * gv * gv;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *w -= hp.lr * (m_hat / (v_hat.sqrt() + hp.eps) + hp.wd * *w);
         }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients) {
-        for (id, g) in grads.iter() {
+        for (id, slot) in grads.iter_slots() {
             let shape = store.get(id).shape();
-            assert_eq!(
-                g.shape(),
-                shape,
-                "gradient shape mismatch for {}",
-                store.name(id)
-            );
             self.ensure_state(id, shape);
             let idx = id.index();
             self.t[idx] += 1;
-            let t = self.t[idx] as f32;
-            let bc1 = 1.0 - self.beta1.powf(t);
-            let bc2 = 1.0 - self.beta2.powf(t);
-
-            let m = self.m[idx].as_mut().expect("state allocated");
-            let v = self.v[idx].as_mut().expect("state allocated");
-            let p = store.get_mut(id);
-            let (lr, b1, b2, eps, wd) =
-                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
-            for ((w, &gv), (mi, vi)) in p
-                .as_mut_slice()
-                .iter_mut()
-                .zip(g.as_slice())
-                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()))
-            {
-                *mi = b1 * *mi + (1.0 - b1) * gv;
-                *vi = b2 * *vi + (1.0 - b2) * gv * gv;
-                let m_hat = *mi / bc1;
-                let v_hat = *vi / bc2;
-                *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
+            match slot {
+                GradSlot::Dense(g) => {
+                    assert_eq!(
+                        g.shape(),
+                        shape,
+                        "gradient shape mismatch for {}",
+                        store.name(id)
+                    );
+                    if self.lazy {
+                        self.catch_up_all_rows(idx, shape.1);
+                    }
+                    self.dense_update(store, id, g);
+                }
+                GradSlot::Sparse(sr) => {
+                    debug_assert_eq!(sr.shape(), shape);
+                    if self.lazy {
+                        self.sparse_update(store, id, sr);
+                    } else {
+                        // Dense oracle: the exact pre-sparse walk, moment
+                        // decay on untouched rows included.
+                        let g = sr.to_dense();
+                        self.dense_update(store, id, &g);
+                    }
+                }
             }
         }
     }
@@ -182,7 +437,7 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::{Gradients, Init, Tape};
-    use rand::{rngs::SmallRng, SeedableRng};
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     /// Minimizes (p - 5)^2 and checks convergence.
     fn converge(opt: &mut dyn Optimizer, steps: usize) -> f32 {
@@ -263,5 +518,123 @@ mod tests {
         assert_eq!(o.learning_rate(), 0.5);
         o.set_learning_rate(0.1);
         assert_eq!(o.learning_rate(), 0.1);
+    }
+
+    /// A table + a dense-updated param, with a deterministic row-touch
+    /// pattern; returns the final table after `steps` optimizer steps.
+    fn run_adam_steps(opt: &mut Adam, sparse_buffer: bool, steps: usize, all_rows: bool) -> Matrix {
+        const ROWS: usize = 12;
+        const COLS: usize = 4;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let table = store.register("table", ROWS, COLS, Init::Uniform { limit: 0.5 }, &mut rng);
+        let dense_p = store.register("w", 2, 3, Init::Uniform { limit: 0.5 }, &mut rng);
+        let mut grng = SmallRng::seed_from_u64(7);
+        for step in 0..steps {
+            let mut g = if sparse_buffer {
+                Gradients::zeros_like(&store)
+            } else {
+                Gradients::dense_like(&store)
+            };
+            for r in 0..ROWS {
+                if all_rows || (step + r) % 3 == 0 {
+                    let delta: Vec<f32> = (0..COLS).map(|_| grng.gen_range(-1.0..1.0)).collect();
+                    g.accumulate_row(table, ROWS, COLS, r, &delta);
+                }
+            }
+            let mut dw = Matrix::zeros(2, 3);
+            for x in dw.as_mut_slice() {
+                *x = grng.gen_range(-1.0..1.0);
+            }
+            g.accumulate(dense_p, &dw);
+            opt.step(&mut store, &g);
+        }
+        store.get(table).clone()
+    }
+
+    #[test]
+    fn lazy_adam_matches_dense_adam_when_all_rows_touched() {
+        // Every row updated every step => catch-up never fires and the
+        // two modes must agree bit for bit.
+        let mut lazy = Adam::new(0.05).with_weight_decay(0.01);
+        let mut dense = Adam::new(0.05).with_weight_decay(0.01).with_lazy(false);
+        let a = run_adam_steps(&mut lazy, true, 6, true);
+        let b = run_adam_steps(&mut dense, false, 6, true);
+        assert!(a.approx_eq(&b, 0.0), "lazy != dense on all-touched rows");
+    }
+
+    #[test]
+    fn lazy_adam_tracks_dense_adam_on_intermittent_rows() {
+        // Rows skipped on some steps: moments match exactly, parameters
+        // drift only by the dense path's momentum-tail updates.
+        let mut lazy = Adam::new(0.01);
+        let mut dense = Adam::new(0.01).with_lazy(false);
+        let a = run_adam_steps(&mut lazy, true, 8, false);
+        let b = run_adam_steps(&mut dense, false, 8, false);
+        assert!(
+            a.approx_eq(&b, 0.05),
+            "lazy drifted too far from dense oracle"
+        );
+    }
+
+    #[test]
+    fn sharded_apply_is_bit_identical_to_single_threaded() {
+        const ROWS: usize = 512;
+        const COLS: usize = 64; // 32k touched scalars => sharding engages
+        let rng = SmallRng::seed_from_u64(3);
+        let run = |shards: usize| {
+            let mut store = ParamStore::new();
+            let t = store.register(
+                "t",
+                ROWS,
+                COLS,
+                Init::Uniform { limit: 0.5 },
+                &mut rng.clone(),
+            );
+            let mut opt = Adam::new(0.02).with_shards(shards);
+            let mut grng = SmallRng::seed_from_u64(11);
+            for _ in 0..3 {
+                let mut g = Gradients::zeros_like(&store);
+                for r in 0..ROWS {
+                    let delta: Vec<f32> = (0..COLS).map(|_| grng.gen_range(-1.0..1.0)).collect();
+                    g.accumulate_row(t, ROWS, COLS, r, &delta);
+                }
+                opt.step(&mut store, &g);
+            }
+            store.get(t).clone()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.approx_eq(&four, 0.0), "sharded apply changed results");
+    }
+
+    #[test]
+    fn sparse_sgd_is_bit_identical_to_dense_sgd() {
+        const ROWS: usize = 20;
+        const COLS: usize = 5;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s1 = ParamStore::new();
+        let p1 = s1.register("t", ROWS, COLS, Init::Uniform { limit: 0.5 }, &mut rng);
+        let mut s2 = s1.clone();
+        let p2 = p1;
+        let mut o1 = Sgd::new(0.1);
+        let mut o2 = Sgd::new(0.1);
+        let mut grng = SmallRng::seed_from_u64(13);
+        for _ in 0..4 {
+            let mut gs = Gradients::zeros_like(&s1);
+            let mut gd = Gradients::dense_like(&s2);
+            for _ in 0..6 {
+                let r = grng.gen_range(0..ROWS);
+                let delta: Vec<f32> = (0..COLS).map(|_| grng.gen_range(-1.0..1.0)).collect();
+                gs.accumulate_row(p1, ROWS, COLS, r, &delta);
+                gd.accumulate_row(p2, ROWS, COLS, r, &delta);
+            }
+            o1.step(&mut s1, &gs);
+            o2.step(&mut s2, &gd);
+        }
+        assert!(
+            s1.get(p1).approx_eq(s2.get(p2), 0.0),
+            "sparse SGD diverged from dense SGD"
+        );
     }
 }

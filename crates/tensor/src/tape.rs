@@ -805,7 +805,7 @@ mod tests {
         let mut grads = Gradients::zeros_like(&store);
         tape.backward(loss, &mut grads);
 
-        let g = grads.get(table).unwrap();
+        let g = grads.to_dense(table).unwrap();
         assert_eq!(g.row(0), &[0.0, 0.0]);
         assert_eq!(g.row(1), &[1.0, 1.0]);
         assert_eq!(g.row(3), &[2.0, 2.0], "row 3 gathered twice");

@@ -262,3 +262,172 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Row-sparse gradient path vs the dense oracle (PR 3).
+//
+// Every test drives the SAME touch sequence into a `Gradients::zeros_like`
+// buffer (row-sparse slots) and a `Gradients::dense_like` buffer (the
+// pre-sparse dense representation) and demands agreement: bit-exact for
+// the buffer ops and SGD, bounded for lazy-vs-dense Adam (whose documented
+// drift is the dense path's momentum-tail updates on skipped rows).
+// ---------------------------------------------------------------------------
+
+/// A script of row touches over a `ROWS x COLS` table: `(row, delta)`
+/// pairs applied in order, with repeats and arbitrary order.
+fn touch_script(
+    rows: usize,
+    cols: usize,
+    max_touches: usize,
+) -> impl Strategy<Value = Vec<(usize, Vec<f32>)>> {
+    proptest::collection::vec(
+        (0..rows, proptest::collection::vec(-3.0f32..3.0, cols)),
+        1..max_touches,
+    )
+}
+
+const T_ROWS: usize = 17;
+const T_COLS: usize = 3;
+
+fn table_store() -> (ParamStore, st_tensor::ParamId, st_tensor::ParamId) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut store = ParamStore::new();
+    let table = store.register(
+        "table",
+        T_ROWS,
+        T_COLS,
+        Init::Gaussian { std: 0.5 },
+        &mut rng,
+    );
+    let w = store.register("w", 2, 4, Init::Gaussian { std: 0.5 }, &mut rng);
+    (store, table, w)
+}
+
+/// Applies one script to a pair of buffers (sparse, dense-oracle).
+fn fill_pair(
+    store: &ParamStore,
+    table: st_tensor::ParamId,
+    script: &[(usize, Vec<f32>)],
+) -> (Gradients, Gradients) {
+    let mut sparse = Gradients::zeros_like(store);
+    let mut dense = Gradients::dense_like(store);
+    for (row, delta) in script {
+        sparse.accumulate_row(table, T_ROWS, T_COLS, *row, delta);
+        dense.accumulate_row(table, T_ROWS, T_COLS, *row, delta);
+    }
+    (sparse, dense)
+}
+
+fn bit_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    /// merge / scale / global_norm / clip_global_norm agree bit for bit
+    /// between the sparse path and the dense oracle over arbitrary
+    /// row-touch patterns.
+    #[test]
+    fn sparse_buffer_ops_match_dense_oracle_bitwise(
+        s1 in touch_script(T_ROWS, T_COLS, 14),
+        s2 in touch_script(T_ROWS, T_COLS, 14),
+        clip in 0.5f32..4.0,
+    ) {
+        let (store, table, w) = table_store();
+        let (mut sp1, mut de1) = fill_pair(&store, table, &s1);
+        let (sp2, de2) = fill_pair(&store, table, &s2);
+        // A dense-slot param rides along to cover mixed buffers.
+        let full = Matrix::from_vec(2, 4, (0..8).map(|i| i as f32 * 0.5 - 2.0).collect());
+        sp1.accumulate(w, &full);
+        de1.accumulate(w, &full);
+
+        sp1.merge(&sp2);
+        de1.merge(&de2);
+        prop_assert_eq!(sp1.global_norm().to_bits(), de1.global_norm().to_bits());
+
+        sp1.scale(0.5);
+        de1.scale(0.5);
+        prop_assert_eq!(sp1.global_norm().to_bits(), de1.global_norm().to_bits());
+
+        sp1.clip_global_norm(clip);
+        de1.clip_global_norm(clip);
+        prop_assert!(bit_equal(
+            &sp1.to_dense(table).unwrap(),
+            &de1.to_dense(table).unwrap()
+        ));
+        prop_assert!(bit_equal(
+            &sp1.to_dense(w).unwrap(),
+            &de1.to_dense(w).unwrap()
+        ));
+    }
+
+    /// The by-value, slot-moving `merge_from` produces exactly what the
+    /// cloning `merge` produces.
+    #[test]
+    fn merge_from_matches_merge(
+        s1 in touch_script(T_ROWS, T_COLS, 14),
+        s2 in touch_script(T_ROWS, T_COLS, 14),
+    ) {
+        let (store, table, _) = table_store();
+        let (mut a_ref, _) = fill_pair(&store, table, &s1);
+        let (b_ref, _) = fill_pair(&store, table, &s2);
+        a_ref.merge(&b_ref);
+
+        let (mut a_mv, _) = fill_pair(&store, table, &s1);
+        let (b_mv, _) = fill_pair(&store, table, &s2);
+        a_mv.merge_from(b_mv);
+
+        prop_assert!(bit_equal(
+            &a_mv.to_dense(table).unwrap(),
+            &a_ref.to_dense(table).unwrap()
+        ));
+    }
+
+    /// SGD (no weight decay) applied through a sparse buffer is
+    /// bit-identical to SGD applied through the dense oracle, over
+    /// arbitrary multi-step touch patterns.
+    #[test]
+    fn sgd_apply_is_bit_identical_across_representations(
+        steps in proptest::collection::vec(touch_script(T_ROWS, T_COLS, 10), 1..5),
+    ) {
+        use st_tensor::{Optimizer, Sgd};
+        let (store, table, _) = table_store();
+        let (mut st_sparse, mut st_dense) = (store.clone(), store);
+        let mut o1 = Sgd::new(0.07);
+        let mut o2 = Sgd::new(0.07);
+        for script in &steps {
+            let (sp, de) = fill_pair(&st_sparse, table, script);
+            o1.step(&mut st_sparse, &sp);
+            o2.step(&mut st_dense, &de);
+        }
+        prop_assert!(bit_equal(st_sparse.get(table), st_dense.get(table)));
+    }
+
+    /// Lazy Adam stays within a small tolerance of the dense oracle over
+    /// arbitrary touch patterns (exact on rows touched every step; skipped
+    /// rows miss only the oracle's momentum-tail updates, which are
+    /// O(lr · beta1^gap) each).
+    #[test]
+    fn lazy_adam_tracks_dense_oracle_within_tolerance(
+        steps in proptest::collection::vec(touch_script(T_ROWS, T_COLS, 10), 2..6),
+    ) {
+        use st_tensor::{Adam, Optimizer};
+        let (store, table, _) = table_store();
+        let (mut st_lazy, mut st_dense) = (store.clone(), store);
+        let mut lazy = Adam::new(1e-3);
+        let mut dense = Adam::new(1e-3).with_lazy(false);
+        for script in &steps {
+            let (sp, de) = fill_pair(&st_lazy, table, script);
+            lazy.step(&mut st_lazy, &sp);
+            dense.step(&mut st_dense, &de);
+        }
+        let a = st_lazy.get(table);
+        let b = st_dense.get(table);
+        // <= 5 steps at lr 1e-3: each skipped momentum-tail update moves a
+        // weight by < lr, so 1e-2 is a generous but meaningful bound.
+        prop_assert!(a.approx_eq(b, 1e-2), "lazy Adam drifted past tolerance");
+    }
+}

@@ -62,7 +62,7 @@ fn parallel_and_sequential_training_reach_similar_loss() {
     let (dataset, split) = setup();
     let run = |workers: usize| -> f32 {
         let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
-        let trainer = ParallelTrainer::new(workers);
+        let mut trainer = ParallelTrainer::new(workers);
         let mut last = f32::MAX;
         for _ in 0..4 {
             let e = trainer.train_epoch(&mut model, &dataset);
