@@ -171,8 +171,8 @@ fn train_autoencoder(dataset: &Dataset, config: &ShCdlConfig, rng: &mut SmallRng
             let x = Matrix::from_vec(chunk.len(), vocab, data);
             let mut tape = Tape::new(&store);
             let xv = tape.input(x.clone());
-            let code = encoder.forward(&mut tape, xv, true, rng);
-            let logits = decoder.forward(&mut tape, code, true, rng);
+            let code = encoder.forward_train(&mut tape, xv, rng);
+            let logits = decoder.forward_train(&mut tape, code, rng);
             let loss = tape.bce_with_logits(logits, x);
             let mut grads = Gradients::zeros_like(&store);
             tape.backward(loss, &mut grads);
@@ -190,7 +190,7 @@ fn train_autoencoder(dataset: &Dataset, config: &ShCdlConfig, rng: &mut SmallRng
         let x = Matrix::from_vec(chunk.len(), vocab, data);
         let mut tape = Tape::new(&store);
         let xv = tape.input(x);
-        let code = encoder.forward(&mut tape, xv, false, rng);
+        let code = encoder.forward_inference(&mut tape, xv);
         let values = tape.value(code);
         for r in 0..chunk.len() {
             codes.push(values.row(r).to_vec());

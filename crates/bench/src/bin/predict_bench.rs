@@ -1,0 +1,77 @@
+//! Inference-path benchmark binary (PR 4).
+//!
+//! Runs the tape-vs-tape-free predict suite in [`st_bench::infer_perf`]
+//! and writes the report to `BENCH_PR4.json` at the repo root (override
+//! the path with `ST_BENCH_OUT`, the single-pair iteration count with
+//! `ST_BENCH_ITERS`).
+//!
+//! `--smoke` runs the tiny CI variant: same code paths on a small model,
+//! gated on bit-identity and zero steady-state allocations but with a
+//! loose speedup bound (tiny towers leave little tape overhead to
+//! remove).
+//!
+//! Build with `--release`: a debug build measures nothing meaningful.
+
+use st_bench::infer_perf::{run_infer_suite, InferPerfOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        InferPerfOptions::smoke()
+    } else {
+        InferPerfOptions::full()
+    };
+    if let Some(iters) = std::env::var("ST_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+    {
+        opts.single_iters = iters;
+    }
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json"))
+        });
+
+    eprintln!(
+        "running infer perf suite ({} mode, {} single-pair iters, batches {:?})...",
+        if smoke { "smoke" } else { "full" },
+        opts.single_iters,
+        opts.batch_sizes
+    );
+    let report = run_infer_suite(&opts);
+
+    eprintln!("  tower: {:?}", report.tower_widths);
+    for m in &report.modes {
+        eprintln!(
+            "  {:>5} batch={:<5} {:>12.0} ns/call  {:>12.0} pairs/s",
+            m.executor, m.batch, m.ns_per_call, m.pairs_per_sec
+        );
+    }
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: single-pair speedup {:.2}x, batched best {:.2}x, bit-identical={}, steady-state grows={}",
+        a.single_pair_speedup, a.batched_best_speedup, a.bit_identical, a.steady_state_grow_events
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write infer perf report");
+    eprintln!("wrote {}", out_path.display());
+
+    let failed = if smoke {
+        // CI gate: correctness must hold exactly; speed only loosely
+        // (shared runners and tiny towers make timing noisy).
+        !a.bit_identical || a.steady_state_grow_events != 0 || a.single_pair_speedup < 0.8
+    } else {
+        !a.bit_identical
+            || a.steady_state_grow_events != 0
+            || a.single_pair_speedup < 2.0
+            || a.batched_best_speedup < 1.0
+    };
+    if failed {
+        eprintln!("WARNING: acceptance gates not met");
+        std::process::exit(1);
+    }
+}

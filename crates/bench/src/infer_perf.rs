@@ -1,0 +1,319 @@
+//! Inference-path perf suite (PR 4): the tape-free `InferCtx` executor
+//! versus the autodiff-tape oracle, measured through the frozen
+//! [`st_transrec_core::ModelSnapshot`] serving path and written to
+//! `BENCH_PR4.json`.
+//!
+//! Every call the tape path makes pays for training machinery it never
+//! uses — graph nodes, backward closures, a fresh buffer pool — while
+//! the tape-free path runs the same shared ops over two reusable scratch
+//! buffers. The suite times both executors on single-pair and batched
+//! scoring, verifies the outputs are bit-identical (the refactor's
+//! safety guarantee), and proves the zero-steady-state-allocation claim
+//! by watching [`st_transrec_core::InferCtx::grow_events`] across the
+//! timed loop.
+
+use crate::json::{Json, ToJson};
+use crate::json_object_impl;
+use st_data::{CityId, CrossingCitySplit};
+use st_transrec_core::{InferCtx, ModelConfig, ModelSnapshot, STTransRec};
+use std::time::Instant;
+
+/// Suite options: the full run (paper-sized tower, written to
+/// `BENCH_PR4.json`) or the CI smoke (tiny model, same code paths,
+/// loose gates).
+#[derive(Debug, Clone)]
+pub struct InferPerfOptions {
+    /// Tiny model + few iterations, for the CI perf smoke.
+    pub smoke: bool,
+    /// Timed single-pair calls per executor (after warm-up).
+    pub single_iters: usize,
+    /// Batched scoring sizes to bench.
+    pub batch_sizes: Vec<usize>,
+    /// Total pairs to push through each batched mode (iterations are
+    /// derived as `pair_budget / batch`, at least 10).
+    pub pair_budget: usize,
+}
+
+impl InferPerfOptions {
+    /// The full configuration used to produce `BENCH_PR4.json`.
+    pub fn full() -> Self {
+        Self {
+            smoke: false,
+            single_iters: 20_000,
+            batch_sizes: vec![16, 256, 2048],
+            pair_budget: 400_000,
+        }
+    }
+
+    /// The CI smoke configuration.
+    pub fn smoke() -> Self {
+        Self {
+            smoke: true,
+            single_iters: 2_000,
+            batch_sizes: vec![8, 64],
+            pair_budget: 20_000,
+        }
+    }
+}
+
+/// The synthetic dataset: tiny in the smoke; big enough in the full run
+/// that gathers hit realistic table heights.
+fn bench_synth(smoke: bool) -> st_data::synth::SynthConfig {
+    let mut cfg = st_data::synth::SynthConfig::tiny();
+    if !smoke {
+        cfg.users = 8_000;
+        cfg.pois = 6_000;
+        cfg.checkins = 30_000;
+        cfg.crossing_users = 400;
+    }
+    cfg
+}
+
+/// The model: the paper's Foursquare tower (128 -> 64 -> 32 -> 16 -> 1)
+/// in the full run, `test_small` in the smoke. Inference timing needs no
+/// training — both executors read the same (random) parameters.
+fn bench_model_config(smoke: bool) -> ModelConfig {
+    let mut cfg = ModelConfig::test_small();
+    if !smoke {
+        cfg.embedding_dim = 64;
+        cfg.hidden = vec![64, 32, 16];
+    }
+    cfg
+}
+
+/// One timed mode: executor x batch size.
+#[derive(Debug, Clone)]
+pub struct PredictModeBench {
+    /// `"tape"` (autodiff oracle) or `"infer"` (tape-free snapshot path).
+    pub executor: String,
+    /// Pairs per scoring call (1 = single-pair serving).
+    pub batch: usize,
+    /// Timed calls.
+    pub iters: usize,
+    /// Mean wall-clock per scoring call, nanoseconds.
+    pub ns_per_call: f64,
+    /// Scored pairs per second.
+    pub pairs_per_sec: f64,
+}
+
+json_object_impl!(PredictModeBench {
+    executor,
+    batch,
+    iters,
+    ns_per_call,
+    pairs_per_sec,
+});
+
+/// The acceptance gates this PR's benchmark must clear.
+#[derive(Debug, Clone)]
+pub struct InferAcceptance {
+    /// Tape-over-infer single-pair throughput ratio (>1 means the
+    /// tape-free path wins; the full gate demands >= 2).
+    pub single_pair_speedup: f64,
+    /// Best tape-over-infer ratio across the batched sizes.
+    pub batched_best_speedup: f64,
+    /// Tape path, tape-free live path and frozen snapshot all produced
+    /// bitwise-equal scores on every checked batch.
+    pub bit_identical: bool,
+    /// Scratch-buffer growths during the timed steady-state loop (the
+    /// zero-allocation claim: must be 0).
+    pub steady_state_grow_events: usize,
+}
+
+json_object_impl!(InferAcceptance {
+    single_pair_speedup,
+    batched_best_speedup,
+    bit_identical,
+    steady_state_grow_events,
+});
+
+/// The full inference-perf report written to `BENCH_PR4.json`.
+#[derive(Debug, Clone)]
+pub struct InferPerfReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Which PR produced the report.
+    pub pr: String,
+    /// Hardware threads on the benching host.
+    pub host_threads: usize,
+    /// Whether this is the CI smoke run.
+    pub smoke: bool,
+    /// Interaction-tower widths benched.
+    pub tower_widths: Vec<usize>,
+    /// All timed modes.
+    pub modes: Vec<PredictModeBench>,
+    /// Acceptance summary.
+    pub acceptance: InferAcceptance,
+}
+
+json_object_impl!(InferPerfReport {
+    schema,
+    pr,
+    host_threads,
+    smoke,
+    tower_widths,
+    modes,
+    acceptance,
+});
+
+impl InferPerfReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        Json::to_string(&self.to_json())
+    }
+}
+
+/// `(users, pois)` index slices of length `n`, cycling over the catalog.
+fn pairs(n: usize, num_users: usize, pool: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let users = (0..n).map(|i| i % num_users).collect();
+    let pois = (0..n).map(|i| pool[i % pool.len()]).collect();
+    (users, pois)
+}
+
+/// Times `iters` calls of `f`, feeding each call's scores into a sink so
+/// the work cannot be optimized away. Returns mean ns per call.
+fn time_calls(iters: usize, mut f: impl FnMut() -> Vec<f32>) -> f64 {
+    let mut sink = 0.0f32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let scores = f();
+        sink += scores[0];
+    }
+    let elapsed = start.elapsed();
+    assert!(std::hint::black_box(sink).is_finite(), "scores diverged");
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+fn bench_pair(
+    model: &STTransRec,
+    snapshot: &ModelSnapshot,
+    ctx: &mut InferCtx,
+    batch: usize,
+    iters: usize,
+    num_users: usize,
+    pool: &[usize],
+) -> (PredictModeBench, PredictModeBench) {
+    let (users, pois) = pairs(batch, num_users, pool);
+    // Warm-up both executors (and the reusable scratch) at this shape.
+    for _ in 0..3 {
+        let _ = model.predict_tape(&users, &pois);
+        let _ = snapshot.predict_with(ctx, &users, &pois);
+    }
+    let tape_ns = time_calls(iters, || model.predict_tape(&users, &pois));
+    let infer_ns = time_calls(iters, || snapshot.predict_with(ctx, &users, &pois));
+    let mode = |executor: &str, ns: f64| PredictModeBench {
+        executor: executor.to_string(),
+        batch,
+        iters,
+        ns_per_call: ns,
+        pairs_per_sec: batch as f64 * 1e9 / ns,
+    };
+    (mode("tape", tape_ns), mode("infer", infer_ns))
+}
+
+/// Runs the whole inference-perf suite.
+pub fn run_infer_suite(opts: &InferPerfOptions) -> InferPerfReport {
+    let synth = bench_synth(opts.smoke);
+    let (dataset, _) = st_data::synth::generate(&synth);
+    let split = CrossingCitySplit::build(&dataset, CityId(synth.target_city as u16));
+    let config = bench_model_config(opts.smoke);
+    let tower_widths = config.tower_widths();
+    let model = STTransRec::new(&dataset, &split, config);
+    let snapshot = model.snapshot();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let pool: Vec<usize> = dataset
+        .pois_in_city(split.target_city)
+        .iter()
+        .map(|p| p.idx())
+        .collect();
+    let num_users = dataset.num_users();
+
+    // Bit-identity across every benched shape: tape oracle, tape-free
+    // live model, frozen snapshot.
+    let mut bit_identical = true;
+    for &batch in std::iter::once(&1usize).chain(&opts.batch_sizes) {
+        let (users, pois) = pairs(batch, num_users, &pool);
+        let oracle = model.predict_tape(&users, &pois);
+        let live = model.predict(&users, &pois);
+        let frozen = snapshot.predict(&users, &pois);
+        bit_identical &= oracle
+            .iter()
+            .zip(&live)
+            .zip(&frozen)
+            .all(|((a, b), c)| a.to_bits() == b.to_bits() && a.to_bits() == c.to_bits());
+    }
+
+    // One long-lived scratch context, as the serve batcher holds.
+    let mut ctx = InferCtx::new();
+    let mut modes = Vec::new();
+
+    let (tape_single, infer_single) = bench_pair(
+        &model,
+        &snapshot,
+        &mut ctx,
+        1,
+        opts.single_iters,
+        num_users,
+        &pool,
+    );
+    let single_pair_speedup = tape_single.ns_per_call / infer_single.ns_per_call;
+    modes.push(tape_single);
+    modes.push(infer_single);
+
+    let mut batched_best_speedup = 0.0f64;
+    for &batch in &opts.batch_sizes {
+        let iters = (opts.pair_budget / batch).max(10);
+        let (tape, infer) = bench_pair(&model, &snapshot, &mut ctx, batch, iters, num_users, &pool);
+        batched_best_speedup = batched_best_speedup.max(tape.ns_per_call / infer.ns_per_call);
+        modes.push(tape);
+        modes.push(infer);
+    }
+
+    // Zero-allocation steady state: re-run the single-pair shape (the
+    // scratch already saw every benched shape) and demand no growth.
+    let (users, pois) = pairs(1, num_users, &pool);
+    let _ = snapshot.predict_with(&mut ctx, &users, &pois);
+    let grows_before = ctx.grow_events();
+    for _ in 0..100 {
+        let _ = snapshot.predict_with(&mut ctx, &users, &pois);
+    }
+    let steady_state_grow_events = ctx.grow_events() - grows_before;
+
+    InferPerfReport {
+        schema: "st-transrec-infer-perf/v1".to_string(),
+        pr: "PR4".to_string(),
+        host_threads,
+        smoke: opts.smoke,
+        tower_widths,
+        modes,
+        acceptance: InferAcceptance {
+            single_pair_speedup,
+            batched_best_speedup,
+            bit_identical,
+            steady_state_grow_events,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_clears_loose_gates() {
+        let mut opts = InferPerfOptions::smoke();
+        opts.single_iters = 50;
+        opts.batch_sizes = vec![8];
+        opts.pair_budget = 400;
+        let report = run_infer_suite(&opts);
+        assert!(report.acceptance.bit_identical);
+        assert_eq!(report.acceptance.steady_state_grow_events, 0);
+        assert_eq!(report.modes.len(), 4);
+        assert!(report.modes.iter().all(|m| m.ns_per_call > 0.0));
+        let text = report.to_json_string();
+        assert!(text.contains("\"schema\": \"st-transrec-infer-perf/v1\""));
+    }
+}

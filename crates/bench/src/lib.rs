@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod infer_perf;
 pub mod json;
 pub mod perf;
 pub mod runner;

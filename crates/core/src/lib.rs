@@ -36,6 +36,7 @@ mod model;
 mod recommend;
 mod resample;
 mod skipgram;
+mod snapshot;
 mod trainer;
 
 pub use config::{MmdEstimator, ModelConfig, Variant};
@@ -48,4 +49,10 @@ pub use recommend::{
 };
 pub use resample::{CityResampler, MultiCityResampler};
 pub use skipgram::skipgram_loss;
+pub use snapshot::ModelSnapshot;
 pub use trainer::{ParallelTrainer, TimedEpoch};
+
+// Re-exported so downstream consumers (st-serve's batcher) can hold the
+// tape-free executor's scratch state without a direct st-tensor
+// dependency.
+pub use st_tensor::InferCtx;

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use st_data::{CityId, CrossingCitySplit, Dataset, PoiId, TextualContextGraph, UserId};
 use st_eval::Scorer;
 use st_tensor::{
-    Activation, Adam, Embedding, Gradients, MatrixPool, Mlp, Optimizer, ParamStore, Tape,
+    Activation, Adam, Embedding, Gradients, InferCtx, MatrixPool, Mlp, Optimizer, ParamStore, Tape,
 };
 
 /// Loss values of one training step (zero for disabled terms).
@@ -306,7 +306,7 @@ impl STTransRec {
                 continue;
             }
             let batch = sampler.sample_batch(dataset, cfg.batch_size, cfg.negatives, rng);
-            let loss = self.interaction_loss(&mut tape, &batch, true, rng);
+            let loss = self.interaction_loss(&mut tape, &batch, rng);
             let v = tape.value(loss).item();
             if slot == 0 {
                 losses.interaction_source = v;
@@ -425,22 +425,23 @@ impl STTransRec {
         self.history.clone()
     }
 
-    /// Builds the interaction tower loss for a batch on `tape`.
+    /// Builds the interaction tower loss for a training batch on `tape`
+    /// (dropout active when configured; inference goes through
+    /// [`STTransRec::predict`], which never touches a tape).
     fn interaction_loss(
         &self,
         tape: &mut Tape<'_>,
         batch: &crate::interaction::InteractionBatch,
-        train: bool,
         rng: &mut SmallRng,
     ) -> st_tensor::Var {
         let users = tape.gather_param(self.user_emb.table(), &batch.users);
         let pois = tape.gather_param(self.poi_emb.table(), &batch.pois);
         let mut x = tape.concat_cols(users, pois);
         // Paper: dropout on the embedding layer and each hidden layer.
-        if train && self.config.dropout > 0.0 {
+        if self.config.dropout > 0.0 {
             x = tape.dropout(x, self.config.dropout, rng);
         }
-        let logits = self.tower.forward(tape, x, train, rng);
+        let logits = self.tower.forward_train(tape, x, rng);
         let n = batch.labels.len();
         tape.bce_with_logits(
             logits,
@@ -450,17 +451,61 @@ impl STTransRec {
 
     /// Predicted interaction probabilities for `(user, poi)` pairs given
     /// as parallel index slices — Eq. 12's `sigma(W^T e_L)` at inference.
+    ///
+    /// Tape-free: the pairs are scored through [`InferCtx`] over the live
+    /// parameters — no graph nodes, no backward closures, no RNG. Callers
+    /// scoring repeatedly should hold an [`InferCtx`] and use
+    /// [`STTransRec::predict_with`] to reach the zero-allocation steady
+    /// state.
     pub fn predict(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        let mut ctx = InferCtx::new();
+        self.predict_with(&mut ctx, users, pois)
+    }
+
+    /// As [`STTransRec::predict`], reusing the caller's scratch buffers.
+    pub fn predict_with(&self, ctx: &mut InferCtx, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
+        ctx.gather_concat2(
+            self.store.get(self.user_emb.table()),
+            users,
+            self.store.get(self.poi_emb.table()),
+            pois,
+        );
+        self.tower.forward_infer(&self.store, ctx);
+        ctx.sigmoid();
+        ctx.value().as_slice().to_vec()
+    }
+
+    /// [`STTransRec::predict`] evaluated on the autodiff tape — the
+    /// differential-testing and benchmark oracle the tape-free path is
+    /// held bit-identical to. Not used on any serving path.
+    pub fn predict_tape(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
         assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
         let mut tape = Tape::new(&self.store);
         let u = tape.gather_param(self.user_emb.table(), users);
         let p = tape.gather_param(self.poi_emb.table(), pois);
         let x = tape.concat_cols(u, p);
-        // Inference: no dropout; the RNG is never consulted.
-        let mut rng = SmallRng::seed_from_u64(0);
-        let logits = self.tower.forward(&mut tape, x, false, &mut rng);
+        let logits = self.tower.forward_inference(&mut tape, x);
         let probs = tape.sigmoid(logits);
         tape.value(probs).as_slice().to_vec()
+    }
+
+    /// Captures a frozen [`crate::ModelSnapshot`] of the current
+    /// parameters for tape-free serving.
+    pub fn snapshot(&self) -> crate::ModelSnapshot {
+        crate::ModelSnapshot::capture(self)
+    }
+
+    pub(crate) fn user_emb(&self) -> &Embedding {
+        &self.user_emb
+    }
+
+    pub(crate) fn poi_emb(&self) -> &Embedding {
+        &self.poi_emb
+    }
+
+    pub(crate) fn tower(&self) -> &Mlp {
+        &self.tower
     }
 
     /// Convenience accessor for the ablation variant in use.
@@ -646,6 +691,27 @@ mod tests {
         assert!(scores
             .iter()
             .all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
+    }
+
+    #[test]
+    fn tape_free_predict_matches_tape_oracle_bitwise() {
+        let (d, split) = setup();
+        for variant in [Variant::Full, Variant::NoMmd, Variant::NoText] {
+            let mut m =
+                STTransRec::new(&d, &split, ModelConfig::test_small().with_variant(variant));
+            m.train_epoch(&d);
+            let pois: Vec<usize> = d
+                .pois_in_city(split.target_city)
+                .iter()
+                .map(|p| p.idx())
+                .collect();
+            let users = vec![2usize; pois.len()];
+            assert_eq!(
+                m.predict(&users, &pois),
+                m.predict_tape(&users, &pois),
+                "executors diverged for {variant:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! A frozen, self-contained copy of the trained parameters for serving.
+//!
+//! [`ModelSnapshot`] captures exactly what Eq. 12 inference needs — the
+//! user and POI embedding tables plus the interaction tower's affine
+//! layers — out of the live [`st_tensor::ParamStore`], detached from the
+//! training state (optimizer moments, samplers, RNG, tape pool). It is
+//! cheap to share across threads, scores pairs through the tape-free
+//! [`InferCtx`] executor, and its outputs are bit-identical to the tape
+//! path: capture copies parameters verbatim and both executors run the
+//! same shared op layer, so a hot-swapped snapshot answers byte-for-byte
+//! like the model it was captured from.
+
+use crate::STTransRec;
+use st_data::{PoiId, UserId};
+use st_eval::Scorer;
+use st_tensor::{Activation, InferCtx, Matrix};
+
+/// Frozen embeddings + tower weights exposing tape-free `predict` /
+/// `score_pairs`.
+///
+/// Capture one with [`STTransRec::snapshot`] (or
+/// [`ModelSnapshot::capture`]) after training or a checkpoint restore;
+/// the snapshot stays valid — and unchanged — however the live model
+/// trains on.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    user_table: Matrix,
+    poi_table: Matrix,
+    /// The tower's `(weight, bias)` pairs, first layer to last.
+    layers: Vec<(Matrix, Matrix)>,
+    activation: Activation,
+}
+
+impl ModelSnapshot {
+    /// Copies the current parameters of `model` into a frozen snapshot.
+    pub fn capture(model: &STTransRec) -> Self {
+        let store = model.params();
+        let layers = model
+            .tower()
+            .layers()
+            .iter()
+            .map(|l| (store.get(l.weight()).clone(), store.get(l.bias()).clone()))
+            .collect();
+        Self {
+            user_table: store.get(model.user_emb().table()).clone(),
+            poi_table: store.get(model.poi_emb().table()).clone(),
+            layers,
+            activation: model.tower().activation(),
+        }
+    }
+
+    /// Number of users the snapshot can score.
+    pub fn num_users(&self) -> usize {
+        self.user_table.rows()
+    }
+
+    /// Number of POIs the snapshot can score.
+    pub fn num_pois(&self) -> usize {
+        self.poi_table.rows()
+    }
+
+    /// Predicted interaction probabilities for `(user, poi)` pairs given
+    /// as parallel index slices — Eq. 12 over the frozen parameters.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or any index is out of range.
+    pub fn predict(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        let mut ctx = InferCtx::new();
+        self.predict_with(&mut ctx, users, pois)
+    }
+
+    /// As [`ModelSnapshot::predict`], reusing the caller's scratch
+    /// buffers — the zero-allocation steady-state path long-lived
+    /// consumers (the serve batcher) score through.
+    pub fn predict_with(&self, ctx: &mut InferCtx, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
+        ctx.gather_concat2(&self.user_table, users, &self.poi_table, pois);
+        let last = self.layers.len() - 1;
+        for (i, (w, b)) in self.layers.iter().enumerate() {
+            ctx.linear(w, b);
+            if i < last {
+                ctx.activation(self.activation);
+            }
+        }
+        ctx.sigmoid();
+        ctx.value().as_slice().to_vec()
+    }
+
+    /// Typed-id variant of [`ModelSnapshot::predict`].
+    pub fn score_pairs(&self, users: &[UserId], pois: &[PoiId]) -> Vec<f32> {
+        let mut ctx = InferCtx::new();
+        self.score_pairs_with(&mut ctx, users, pois)
+    }
+
+    /// As [`ModelSnapshot::score_pairs`], reusing the caller's scratch
+    /// buffers.
+    pub fn score_pairs_with(
+        &self,
+        ctx: &mut InferCtx,
+        users: &[UserId],
+        pois: &[PoiId],
+    ) -> Vec<f32> {
+        let u: Vec<usize> = users.iter().map(|u| u.idx()).collect();
+        let p: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
+        self.predict_with(ctx, &u, &p)
+    }
+}
+
+impl Scorer for ModelSnapshot {
+    fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+        let users = vec![user.idx(); pois.len()];
+        let poi_rows: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
+        self.predict(&users, &poi_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, Variant};
+    use st_data::synth::{generate, SynthConfig};
+    use st_data::{CityId, CrossingCitySplit, Dataset};
+
+    fn setup() -> (Dataset, CrossingCitySplit) {
+        let cfg = SynthConfig::tiny();
+        let (d, _) = generate(&cfg);
+        let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+        (d, split)
+    }
+
+    #[test]
+    fn capture_scores_bitwise_like_the_live_model_across_variants() {
+        let (d, split) = setup();
+        for variant in [Variant::Full, Variant::NoMmd, Variant::NoText] {
+            let mut m =
+                STTransRec::new(&d, &split, ModelConfig::test_small().with_variant(variant));
+            m.train_epoch(&d);
+            let snap = m.snapshot();
+            let pois: Vec<usize> = d
+                .pois_in_city(split.target_city)
+                .iter()
+                .map(|p| p.idx())
+                .collect();
+            let users = vec![1usize; pois.len()];
+            assert_eq!(
+                snap.predict(&users, &pois),
+                m.predict_tape(&users, &pois),
+                "snapshot diverged from the tape oracle for {variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_frozen_while_the_model_trains_on() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let snap = m.snapshot();
+        let pois = d.pois_in_city(split.target_city);
+        let before = snap.score_batch(UserId(0), pois);
+        m.train_epoch(&d); // live parameters move
+        assert_eq!(snap.score_batch(UserId(0), pois), before);
+        assert_ne!(m.score_batch(UserId(0), pois), before);
+    }
+
+    #[test]
+    fn scorer_round_trip_matches_model_scorer() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let snap = m.snapshot();
+        let pois = d.pois_in_city(split.target_city);
+        assert_eq!(
+            snap.score_batch(UserId(2), pois),
+            m.score_batch(UserId(2), pois)
+        );
+        assert_eq!(
+            (snap.num_users(), snap.num_pois()),
+            (d.num_users(), d.num_pois())
+        );
+    }
+
+    #[test]
+    fn evaluation_through_the_snapshot_matches_the_live_model() {
+        use st_eval::{evaluate, EvalConfig};
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let snap = m.snapshot();
+        let cfg = EvalConfig::default();
+        assert_eq!(
+            evaluate(&snap, &d, &split, &cfg),
+            evaluate(&m, &d, &split, &cfg)
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_reaches_zero_allocation_steady_state() {
+        let (d, split) = setup();
+        let m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        let snap = m.snapshot();
+        let pois: Vec<usize> = d
+            .pois_in_city(split.target_city)
+            .iter()
+            .map(|p| p.idx())
+            .collect();
+        let users = vec![0usize; pois.len()];
+        let mut ctx = InferCtx::new();
+        for _ in 0..3 {
+            snap.predict_with(&mut ctx, &users, &pois);
+        }
+        let settled = ctx.grow_events();
+        for _ in 0..10 {
+            snap.predict_with(&mut ctx, &users, &pois);
+        }
+        assert_eq!(ctx.grow_events(), settled, "scoring kept reallocating");
+    }
+}

@@ -267,6 +267,62 @@ mod tests {
         assert!((0.0..0.4).contains(&r10), "random recall@10 = {r10}");
     }
 
+    /// Records how many `score_batch` calls it receives and how many of
+    /// them ran off the constructing thread, for asserting the sharding
+    /// policy.
+    struct Recording {
+        caller: std::thread::ThreadId,
+        calls: std::sync::atomic::AtomicUsize,
+        off_thread: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Recording {
+        fn new() -> Self {
+            Self {
+                caller: std::thread::current().id(),
+                calls: std::sync::atomic::AtomicUsize::new(0),
+                off_thread: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Scorer for Recording {
+        fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            use std::sync::atomic::Ordering::Relaxed;
+            self.calls.fetch_add(1, Relaxed);
+            if std::thread::current().id() != self.caller {
+                self.off_thread.fetch_add(1, Relaxed);
+            }
+            vec![0.0; pois.len()]
+        }
+    }
+
+    #[test]
+    fn small_catalog_scores_in_one_call_on_the_calling_thread() {
+        use std::sync::atomic::Ordering::Relaxed;
+        // Just under the 2*MIN_SHARD threshold: threading overhead would
+        // dominate, so the catalog must score as one batch, inline.
+        let pois: Vec<PoiId> = (0..(2 * MIN_SHARD as u32 - 1)).map(PoiId).collect();
+        let rec = Recording::new();
+        let scores = score_sharded(&rec, UserId(0), &pois, 8);
+        assert_eq!(scores.len(), pois.len());
+        assert_eq!(rec.calls.load(Relaxed), 1, "small catalog must not shard");
+        assert_eq!(rec.off_thread.load(Relaxed), 0, "must stay on the caller");
+    }
+
+    #[test]
+    fn large_catalog_shards_with_min_shard_sized_chunks() {
+        use std::sync::atomic::Ordering::Relaxed;
+        // Large enough to shard, small enough that MIN_SHARD (not the
+        // thread count) bounds the shard count: 3*MIN_SHARD pairs across
+        // 8 requested threads must become exactly 3 shards.
+        let pois: Vec<PoiId> = (0..(3 * MIN_SHARD as u32)).map(PoiId).collect();
+        let rec = Recording::new();
+        let scores = score_sharded(&rec, UserId(0), &pois, 8);
+        assert_eq!(scores.len(), pois.len());
+        assert_eq!(rec.calls.load(Relaxed), 3, "shards must hold >= MIN_SHARD");
+    }
+
     #[test]
     fn candidate_sampler_excludes_truth_and_dedupes() {
         let pois: Vec<PoiId> = (0..50).map(PoiId).collect();

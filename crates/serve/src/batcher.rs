@@ -5,10 +5,12 @@
 //! channel. A single batcher thread takes the first queued request,
 //! waits up to the configured window for more to arrive (leaving early
 //! when `max_batch` fills), then concatenates every request's
-//! `(user, candidate)` pairs into one [`STTransRec::predict`] call — the
-//! same batched scoring path PR 1 built, now amortizing one tape and one
-//! tower pass over every concurrent caller. Scores are split back per
-//! request and ranked exactly like `recommend_top_k` (descending
+//! `(user, candidate)` pairs into one scoring call against the
+//! generation's frozen [`st_transrec_core::ModelSnapshot`] — tape-free
+//! `InferCtx` execution over scratch buffers the batcher thread owns and
+//! reuses for its whole lifetime, so steady-state scoring allocates
+//! nothing and never touches the autodiff tape. Scores are split back
+//! per request and ranked exactly like `recommend_top_k` (descending
 //! `total_cmp`, POI-id tiebreak), so a batched response is bit-identical
 //! to an unbatched one.
 //!
@@ -19,7 +21,8 @@
 use crate::metrics::{Metrics, BATCH_BUCKETS};
 use crate::snapshot::ModelCell;
 use st_data::{PoiId, UserId};
-use st_transrec_core::{Recommendation, STTransRec};
+use st_transrec_core::ModelSnapshot as FrozenModel;
+use st_transrec_core::{InferCtx, Recommendation, STTransRec};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -39,6 +42,14 @@ impl PairScorer for STTransRec {
         let user_rows: Vec<usize> = users.iter().map(|u| u.idx()).collect();
         let poi_rows: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
         self.predict(&user_rows, &poi_rows)
+    }
+}
+
+impl PairScorer for FrozenModel {
+    fn score_pairs(&self, users: &[UserId], pois: &[PoiId]) -> Vec<f32> {
+        // Inherent method of the same name; resolves to the snapshot's own
+        // tape-free scoring, not back into this trait impl.
+        FrozenModel::score_pairs(self, users, pois)
     }
 }
 
@@ -168,6 +179,9 @@ fn batcher_loop(
     metrics: Arc<Metrics>,
     config: BatchConfig,
 ) {
+    // The batcher thread's scratch buffers, reused across every batch it
+    // ever scores: zero allocations per batch once warmed up.
+    let mut ctx = InferCtx::new();
     loop {
         // Wait for the first request (or shutdown).
         let mut queue = shared.queue.lock().expect("batcher queue poisoned");
@@ -214,7 +228,7 @@ fn batcher_loop(
         let take = queue.len().min(config.max_batch);
         let batch: Vec<Job> = queue.drain(..take).collect();
         drop(queue);
-        execute_batch(&cell, &metrics, batch, config.chunk_pairs);
+        execute_batch(&cell, &metrics, batch, config.chunk_pairs, &mut ctx);
     }
 }
 
@@ -222,7 +236,13 @@ fn batcher_loop(
 /// `chunk_pairs` pairs, split at request boundaries — and answers every
 /// job in it. The whole batch sees one model snapshot regardless of how
 /// many `score_pairs` calls it takes.
-fn execute_batch(cell: &ModelCell, metrics: &Metrics, batch: Vec<Job>, chunk_pairs: usize) {
+fn execute_batch(
+    cell: &ModelCell,
+    metrics: &Metrics,
+    batch: Vec<Job>,
+    chunk_pairs: usize,
+    ctx: &mut InferCtx,
+) {
     if batch.is_empty() {
         return;
     }
@@ -243,18 +263,24 @@ fn execute_batch(cell: &ModelCell, metrics: &Metrics, batch: Vec<Job>, chunk_pai
     for job in batch {
         let n = job.req.candidates.len();
         if !chunk.is_empty() && chunk_pairs > 0 && chunk_len + n > chunk_pairs {
-            score_chunk(&snapshot, std::mem::take(&mut chunk), chunk_len);
+            score_chunk(&snapshot, std::mem::take(&mut chunk), chunk_len, ctx);
             chunk_len = 0;
         }
         chunk_len += n;
         chunk.push(job);
     }
-    score_chunk(&snapshot, chunk, chunk_len);
+    score_chunk(&snapshot, chunk, chunk_len, ctx);
 }
 
-/// One `score_pairs` call over `chunk`'s concatenated pairs, then ranks
-/// and replies per request.
-fn score_chunk(snapshot: &crate::snapshot::ModelSnapshot, chunk: Vec<Job>, total: usize) {
+/// One tape-free scoring pass over `chunk`'s concatenated pairs (through
+/// the generation's frozen parameters and the batcher's reusable
+/// scratch), then ranks and replies per request.
+fn score_chunk(
+    snapshot: &crate::snapshot::ModelSnapshot,
+    chunk: Vec<Job>,
+    total: usize,
+    ctx: &mut InferCtx,
+) {
     if chunk.is_empty() {
         return;
     }
@@ -264,7 +290,7 @@ fn score_chunk(snapshot: &crate::snapshot::ModelSnapshot, chunk: Vec<Job>, total
         users.extend(std::iter::repeat_n(job.req.user, job.req.candidates.len()));
         pois.extend_from_slice(&job.req.candidates);
     }
-    let scores = snapshot.model.score_pairs(&users, &pois);
+    let scores = snapshot.frozen.score_pairs_with(ctx, &users, &pois);
     debug_assert_eq!(scores.len(), total);
 
     let mut offset = 0;

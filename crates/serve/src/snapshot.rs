@@ -15,6 +15,7 @@
 //! *before* any swap happens, so the old model keeps serving.
 
 use st_data::{CrossingCitySplit, Dataset};
+use st_transrec_core::ModelSnapshot as FrozenModel;
 use st_transrec_core::{ModelConfig, STTransRec};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,8 +24,14 @@ use std::time::SystemTime;
 
 /// One immutable generation of the serving model.
 pub struct ModelSnapshot {
-    /// The model all requests of this generation score against.
+    /// The full model of this generation (training state included) —
+    /// kept for surfaces that need more than pair scoring, e.g. the
+    /// explanation endpoints' embedding inspection.
     pub model: STTransRec,
+    /// The frozen parameters all of this generation's scoring runs
+    /// through: the tape-free [`FrozenModel`] captured at swap time, so
+    /// the hot path never touches the autodiff tape.
+    pub frozen: FrozenModel,
     /// Monotone generation number, starting at 1.
     pub epoch: u64,
 }
@@ -38,8 +45,13 @@ pub struct ModelCell {
 impl ModelCell {
     /// Wraps `model` as epoch 1.
     pub fn new(model: STTransRec) -> Self {
+        let frozen = model.snapshot();
         Self {
-            current: RwLock::new(Arc::new(ModelSnapshot { model, epoch: 1 })),
+            current: RwLock::new(Arc::new(ModelSnapshot {
+                model,
+                frozen,
+                epoch: 1,
+            })),
             epoch: AtomicU64::new(1),
         }
     }
@@ -58,9 +70,14 @@ impl ModelCell {
     /// Atomically replaces the model, returning the new epoch. In-flight
     /// holders of the old `Arc` keep scoring against the old weights.
     pub fn swap(&self, model: STTransRec) -> u64 {
+        let frozen = model.snapshot();
         let mut guard = self.current.write().expect("model cell poisoned");
         let epoch = guard.epoch + 1;
-        *guard = Arc::new(ModelSnapshot { model, epoch });
+        *guard = Arc::new(ModelSnapshot {
+            model,
+            frozen,
+            epoch,
+        });
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }
@@ -163,6 +180,20 @@ mod tests {
         // The old snapshot still scores after the swap.
         let pois = d.pois_in_city(s.target_city);
         let _ = old.model.score_batch(UserId(0), pois);
+    }
+
+    #[test]
+    fn frozen_snapshot_scores_bitwise_like_its_model() {
+        let (d, s) = setup();
+        let mut model = STTransRec::new(&d, &s, ModelConfig::test_small());
+        model.train_epoch(&d);
+        let cell = ModelCell::new(model);
+        let snap = cell.current();
+        let pois = d.pois_in_city(s.target_city);
+        assert_eq!(
+            snap.frozen.score_batch(UserId(0), pois),
+            snap.model.score_batch(UserId(0), pois)
+        );
     }
 
     #[test]

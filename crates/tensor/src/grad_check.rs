@@ -237,8 +237,7 @@ mod tests {
         let t = Matrix::column(&[1.0, 0.0, 0.0, 1.0]);
         assert_gradients_close(&mut store, EPS, TOL, move |tape| {
             let xv = tape.input(x.clone());
-            let mut fwd_rng = SmallRng::seed_from_u64(0);
-            let z = mlp.forward(tape, xv, false, &mut fwd_rng);
+            let z = mlp.forward_inference(tape, xv);
             tape.bce_with_logits(z, t.clone())
         });
     }

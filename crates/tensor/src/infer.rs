@@ -1,0 +1,162 @@
+//! The tape-free inference executor.
+//!
+//! [`InferCtx`] evaluates a forward tower through the shared op layer
+//! ([`crate::ops`]) with none of the training machinery: no tape nodes,
+//! no backward closures, no RNG, and — once its two scratch buffers have
+//! grown to the workload's steady-state shapes — no allocations per
+//! call. The activation ping-pongs between a *current* and a *next*
+//! buffer; each op either transforms the current buffer in place
+//! (activations) or writes into the next one and swaps (the affine
+//! layer).
+//!
+//! Bit-identity with the tape path is a hard guarantee, not a tolerance:
+//! both executors call the same [`crate::ops`] functions over the same
+//! blocked kernels, so for equal weights and inputs their outputs are
+//! equal to the last bit. The differential test suites assert exactly
+//! that, which is what lets serving swap executors without responses
+//! changing by a single byte.
+
+use crate::nn::Activation;
+use crate::{ops, Matrix};
+
+/// Reusable scratch state for tape-free forward evaluation.
+///
+/// Create one per thread (or per long-lived consumer, e.g. the serve
+/// batcher) and reuse it across calls; the scratch buffers are resized
+/// in place and only reallocate while still growing toward the
+/// workload's largest shapes. [`InferCtx::grow_events`] counts those
+/// reallocations, so "zero steady-state allocations" is a measurable
+/// property, not a claim.
+#[derive(Debug, Default)]
+pub struct InferCtx {
+    /// The current activation.
+    cur: Matrix,
+    /// Scratch for the next layer's output.
+    nxt: Matrix,
+    /// Buffer-capacity growths since construction.
+    grows: usize,
+}
+
+impl InferCtx {
+    /// A fresh context with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times a scratch buffer had to grow its allocation. In
+    /// steady state (same shapes call after call) this stops increasing.
+    pub fn grow_events(&self) -> usize {
+        self.grows
+    }
+
+    /// Reshapes `m`'s storage to a zero-filled `r x c`, reallocating only
+    /// if the capacity is insufficient (counted in `grows`).
+    fn reshape_zeroed(m: Matrix, r: usize, c: usize, grows: &mut usize) -> Matrix {
+        let mut v = m.into_vec();
+        if v.capacity() < r * c {
+            *grows += 1;
+        }
+        v.clear();
+        v.resize(r * c, 0.0);
+        Matrix::from_vec(r, c, v)
+    }
+
+    /// Loads an explicit input batch (copied into scratch).
+    pub fn set_input(&mut self, x: &Matrix) {
+        let (r, c) = x.shape();
+        self.cur = Self::reshape_zeroed(std::mem::take(&mut self.cur), r, c, &mut self.grows);
+        self.cur.as_mut_slice().copy_from_slice(x.as_slice());
+    }
+
+    /// Loads the fused embedding gather + pair concat
+    /// `[a[ai[i]] | b[bi[i]]]` as the current activation — the
+    /// interaction tower's input, built without intermediate gather
+    /// matrices.
+    ///
+    /// # Panics
+    /// Panics if the index slices differ in length or any index is out
+    /// of range.
+    pub fn gather_concat2(&mut self, a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize]) {
+        let (r, c) = (ai.len(), a.cols() + b.cols());
+        self.cur = Self::reshape_zeroed(std::mem::take(&mut self.cur), r, c, &mut self.grows);
+        ops::gather_concat2_assign(a, ai, b, bi, &mut self.cur);
+    }
+
+    /// The affine map `x W + b`: multiplies the current activation by `w`
+    /// into the next buffer, adds the bias row, and swaps the buffers.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn linear(&mut self, w: &Matrix, b: &Matrix) {
+        let (r, c) = (self.cur.rows(), w.cols());
+        self.nxt = Self::reshape_zeroed(std::mem::take(&mut self.nxt), r, c, &mut self.grows);
+        ops::matmul(&self.cur, w, &mut self.nxt);
+        ops::add_row_broadcast_assign(&mut self.nxt, b);
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+    }
+
+    /// Applies `act` to the current activation in place.
+    pub fn activation(&mut self, act: Activation) {
+        ops::activation_assign(act, &mut self.cur);
+    }
+
+    /// Applies the stable logistic sigmoid in place (the Eq. 12 output
+    /// layer).
+    pub fn sigmoid(&mut self) {
+        ops::sigmoid_assign(&mut self.cur);
+    }
+
+    /// The current activation (the evaluation's output after the last
+    /// op).
+    pub fn value(&self) -> &Matrix {
+        &self.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ping_pong_matches_matrix_math() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]);
+        let w = Matrix::from_vec(3, 2, vec![0.5, 1.0, -1.0, 0.25, 2.0, -0.5]);
+        let b = Matrix::row_vec(&[0.1, -0.2]);
+        let mut ctx = InferCtx::new();
+        ctx.set_input(&x);
+        ctx.linear(&w, &b);
+        assert_eq!(ctx.value(), &x.matmul(&w).add_row_broadcast(&b));
+    }
+
+    #[test]
+    fn scratch_reaches_zero_allocation_steady_state() {
+        let x = Matrix::from_vec(4, 3, vec![0.25; 12]);
+        let w = Matrix::from_vec(3, 3, vec![0.5; 9]);
+        let b = Matrix::row_vec(&[0.0; 3]);
+        let mut ctx = InferCtx::new();
+        for _ in 0..3 {
+            ctx.set_input(&x);
+            ctx.linear(&w, &b);
+            ctx.activation(Activation::Relu);
+        }
+        let settled = ctx.grow_events();
+        for _ in 0..10 {
+            ctx.set_input(&x);
+            ctx.linear(&w, &b);
+            ctx.activation(Activation::Relu);
+        }
+        assert_eq!(ctx.grow_events(), settled, "scratch kept reallocating");
+    }
+
+    #[test]
+    fn empty_batch_is_harmless() {
+        let table = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let w = Matrix::from_vec(4, 1, vec![1.0; 4]);
+        let b = Matrix::row_vec(&[0.0]);
+        let mut ctx = InferCtx::new();
+        ctx.gather_concat2(&table, &[], &table, &[]);
+        ctx.linear(&w, &b);
+        ctx.sigmoid();
+        assert_eq!(ctx.value().shape(), (0, 1));
+    }
+}

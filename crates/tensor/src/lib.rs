@@ -8,9 +8,14 @@
 //! The library is deliberately scoped to what the paper needs, done well:
 //!
 //! - [`Matrix`]: dense row-major `f32` storage with cache-friendly kernels.
+//! - [`ops`]: the shared forward op layer — every piece of tower math
+//!   implemented once, consumed by both executors below.
 //! - [`Tape`] / [`Var`]: eager reverse-mode autodiff with sparse embedding
 //!   gradients ([`Tape::gather_param`]) and a fused numerically-stable
 //!   binary cross-entropy ([`Tape::bce_with_logits`]).
+//! - [`InferCtx`]: the tape-free inference executor — same ops, reusable
+//!   scratch buffers, bit-identical outputs, zero steady-state
+//!   allocations.
 //! - [`nn`]: [`Linear`], [`Mlp`], [`Embedding`] layers over a shared
 //!   [`ParamStore`].
 //! - [`optim`]: [`Sgd`] and [`Adam`] with sparse-aware bias correction.
@@ -33,7 +38,7 @@
 //! for _ in 0..200 {
 //!     let mut tape = Tape::new(&store);
 //!     let xv = tape.input(x.clone());
-//!     let logits = mlp.forward(&mut tape, xv, true, &mut rng);
+//!     let logits = mlp.forward_train(&mut tape, xv, &mut rng);
 //!     let loss = tape.bce_with_logits(logits, t.clone());
 //!     let mut grads = Gradients::zeros_like(&store);
 //!     tape.backward(loss, &mut grads);
@@ -43,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod infer;
 mod matrix;
 mod tape;
 
@@ -51,16 +57,19 @@ pub mod grad_check;
 pub mod init;
 pub mod kernels;
 pub mod nn;
+pub mod ops;
 pub mod optim;
 pub mod params;
 pub mod pool;
 
 pub use checkpoint::{load_params, save_params, CheckpointError};
 pub use grad_check::{assert_gradients_close, check_gradients, GradCheckReport};
+pub use infer::InferCtx;
 pub use init::Init;
 pub use matrix::Matrix;
 pub use nn::{Activation, Embedding, Linear, Mlp};
+pub use ops::stable_sigmoid;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{GradSlot, Gradients, ParamId, ParamStore, SparseRows};
 pub use pool::MatrixPool;
-pub use tape::{stable_sigmoid, Tape, Var};
+pub use tape::{Tape, Var};

@@ -9,7 +9,10 @@ use crate::kernels;
 use std::fmt;
 
 /// A dense row-major matrix of `f32` values.
-#[derive(Clone, PartialEq)]
+///
+/// The [`Default`] value is an empty `0 x 0` matrix with no allocation —
+/// a placeholder for scratch buffers that are grown in place.
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -5,7 +5,7 @@
 //! towers (ST-TransRec registers the user table, two POI tables, the word
 //! table, and the interaction MLP in a single store).
 
-use crate::{Init, ParamId, ParamStore, Tape, Var};
+use crate::{InferCtx, Init, ParamId, ParamStore, Tape, Var};
 use rand::Rng;
 
 /// A fully connected layer `x W + b`.
@@ -159,22 +159,64 @@ impl Mlp {
         self.layers.last().expect("non-empty").out_dim()
     }
 
-    /// Forward pass. When `train` is true, dropout masks are sampled from
-    /// `rng`; at inference dropout is disabled (inverted dropout needs no
-    /// rescaling).
-    pub fn forward(&self, tape: &mut Tape<'_>, x: Var, train: bool, rng: &mut impl Rng) -> Var {
+    /// The affine layers, first to last (snapshot capture reads weights
+    /// through these ids).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The hidden-layer activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Training forward pass: dropout masks (if configured) are sampled
+    /// from `rng` after each hidden activation.
+    pub fn forward_train(&self, tape: &mut Tape<'_>, x: Var, rng: &mut impl Rng) -> Var {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(tape, h);
             if i < last {
                 h = self.activation.apply(tape, h);
-                if train && self.dropout > 0.0 {
+                if self.dropout > 0.0 {
                     h = tape.dropout(h, self.dropout, rng);
                 }
             }
         }
         h
+    }
+
+    /// Inference forward pass on the tape: dropout is disabled (inverted
+    /// dropout needs no rescaling), so no RNG is ever consulted. Kept for
+    /// gradient checking and as the differential-test oracle; the
+    /// tape-free path is [`Mlp::forward_infer`].
+    pub fn forward_inference(&self, tape: &mut Tape<'_>, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h);
+            if i < last {
+                h = self.activation.apply(tape, h);
+            }
+        }
+        h
+    }
+
+    /// Tape-free inference forward pass: evaluates the tower over `ctx`'s
+    /// scratch buffers, reading weights straight from `store`. The input
+    /// batch must already be loaded into `ctx` (via [`InferCtx::set_input`]
+    /// or [`InferCtx::gather_concat2`]); afterwards `ctx.value()` holds the
+    /// final layer's output (logits — no activation after the last layer,
+    /// matching the tape paths).
+    pub fn forward_infer(&self, store: &ParamStore, ctx: &mut InferCtx) {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            ctx.linear(store.get(layer.weight()), store.get(layer.bias()));
+            if i < last {
+                ctx.activation(self.activation);
+            }
+        }
     }
 }
 
@@ -275,7 +317,7 @@ mod tests {
         assert_eq!(mlp.out_dim(), 1);
         let mut tape = Tape::new(&store);
         let x = tape.input(Matrix::zeros(7, 128));
-        let y = mlp.forward(&mut tape, x, true, &mut rng);
+        let y = mlp.forward_train(&mut tape, x, &mut rng);
         assert_eq!(tape.value(y).shape(), (7, 1));
     }
 
@@ -285,14 +327,35 @@ mod tests {
         let mut store = ParamStore::new();
         let mlp = Mlp::new(&mut store, "m", &[4, 3, 1], Activation::Relu, 0.5, &mut rng);
         let x = Matrix::from_vec(2, 4, vec![0.5; 8]);
-        let run = |rng_seed: u64| {
-            let mut rng = SmallRng::seed_from_u64(rng_seed);
+        let run = || {
             let mut tape = Tape::new(&store);
             let xv = tape.input(x.clone());
-            let y = mlp.forward(&mut tape, xv, false, &mut rng);
+            let y = mlp.forward_inference(&mut tape, xv);
             tape.value(y).clone()
         };
-        assert_eq!(run(1), run(2), "inference must not depend on the RNG");
+        assert_eq!(run(), run(), "inference must be deterministic");
+    }
+
+    #[test]
+    fn mlp_tape_free_forward_matches_tape_inference_bitwise() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "m",
+            &[6, 5, 3, 1],
+            Activation::Relu,
+            0.3, // dropout configured but irrelevant at inference
+            &mut rng,
+        );
+        let x = Matrix::from_vec(4, 6, (0..24).map(|i| (i as f32) * 0.17 - 2.0).collect());
+        let mut tape = Tape::new(&store);
+        let xv = tape.input(x.clone());
+        let y = mlp.forward_inference(&mut tape, xv);
+        let mut ctx = InferCtx::new();
+        ctx.set_input(&x);
+        mlp.forward_infer(&store, &mut ctx);
+        assert_eq!(ctx.value(), tape.value(y), "executors diverged");
     }
 
     #[test]
@@ -316,7 +379,7 @@ mod tests {
         for _ in 0..400 {
             let mut tape = Tape::new(&store);
             let xv = tape.input(x.clone());
-            let logits = mlp.forward(&mut tape, xv, true, &mut rng);
+            let logits = mlp.forward_train(&mut tape, xv, &mut rng);
             let loss = tape.bce_with_logits(logits, t.clone());
             final_loss = tape.value(loss).item();
             let mut grads = Gradients::zeros_like(&store);

@@ -1,0 +1,158 @@
+//! The shared forward op layer.
+//!
+//! Every operation the interaction tower evaluates — embedding gather,
+//! pair concatenation, the affine map, activations, the sigmoid output —
+//! is implemented exactly once here, over plain [`Matrix`] buffers, on
+//! top of the blocked kernels in [`crate::kernels`]. Two executors
+//! consume this layer:
+//!
+//! - [`crate::Tape`] calls these functions in its forward pass and adds
+//!   gradient recording on top (node list, backward closures).
+//! - [`crate::InferCtx`] calls the same functions over a pair of
+//!   reusable scratch buffers and adds nothing: no nodes, no closures,
+//!   no RNG, no steady-state allocations.
+//!
+//! Because both executors run the *same* arithmetic in the *same* order
+//! over the same kernels, the tape-free inference path is bit-identical
+//! to the tape path — the differential test suites assert exact `f32`
+//! equality, not tolerance bounds.
+
+use crate::nn::Activation;
+use crate::Matrix;
+
+/// `out += a * b` through the blocked register-tile kernel. `out` must be
+/// zero-filled (as pool and scratch buffers are) to compute a plain
+/// product.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    a.matmul_into(b, out);
+}
+
+/// Adds the `1 x cols` bias row `row` to every row of `x`, in place.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn add_row_broadcast_assign(x: &mut Matrix, row: &Matrix) {
+    assert_eq!(row.rows(), 1, "broadcast operand must be 1 x cols");
+    assert_eq!(row.cols(), x.cols(), "broadcast col mismatch");
+    for r in 0..x.rows() {
+        for (o, &b) in x.row_mut(r).iter_mut().zip(row.as_slice()) {
+            *o += b;
+        }
+    }
+}
+
+/// `max(0, x)` elementwise, in place.
+pub fn relu_assign(x: &mut Matrix) {
+    x.map_inplace(|v| v.max(0.0));
+}
+
+/// Hyperbolic tangent elementwise, in place.
+pub fn tanh_assign(x: &mut Matrix) {
+    x.map_inplace(f32::tanh);
+}
+
+/// Overflow-safe logistic sigmoid elementwise, in place.
+pub fn sigmoid_assign(x: &mut Matrix) {
+    x.map_inplace(stable_sigmoid);
+}
+
+/// Applies `act` elementwise, in place ([`Activation::Identity`] is a
+/// no-op).
+pub fn activation_assign(act: Activation, x: &mut Matrix) {
+    match act {
+        Activation::Relu => relu_assign(x),
+        Activation::Tanh => tanh_assign(x),
+        Activation::Sigmoid => sigmoid_assign(x),
+        Activation::Identity => {}
+    }
+}
+
+/// Fills `out` (shape `ai.len() x (a.cols() + b.cols())`) with the
+/// rowwise concatenation `[a[ai[i]] | b[bi[i]]]` — the embedding
+/// gather + pair concat of the interaction tower, fused into one pass so
+/// no intermediate gather matrices exist on the inference path.
+///
+/// # Panics
+/// Panics if the index slices differ in length, any index is out of
+/// range, or `out` has the wrong shape.
+pub fn gather_concat2_assign(a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize], out: &mut Matrix) {
+    assert_eq!(ai.len(), bi.len(), "index slices must be parallel");
+    assert_eq!(
+        out.shape(),
+        (ai.len(), a.cols() + b.cols()),
+        "gather_concat2 output shape mismatch"
+    );
+    let split = a.cols();
+    for (r, (&ia, &ib)) in ai.iter().zip(bi).enumerate() {
+        assert!(ia < a.rows(), "gather index {ia} out of {} rows", a.rows());
+        assert!(ib < b.rows(), "gather index {ib} out of {} rows", b.rows());
+        let row = out.row_mut(r);
+        row[..split].copy_from_slice(a.row(ia));
+        row[split..].copy_from_slice(b.row(ib));
+    }
+}
+
+/// Overflow-safe logistic sigmoid.
+pub fn stable_sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_row_broadcast_assign_matches_out_of_place() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::row_vec(&[0.5, -1.0, 2.0]);
+        let mut y = x.clone();
+        add_row_broadcast_assign(&mut y, &b);
+        assert_eq!(y, x.add_row_broadcast(&b));
+    }
+
+    #[test]
+    fn activations_match_map_forms() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        let mut r = x.clone();
+        relu_assign(&mut r);
+        assert_eq!(r, x.map(|v| v.max(0.0)));
+        let mut t = x.clone();
+        tanh_assign(&mut t);
+        assert_eq!(t, x.map(f32::tanh));
+        let mut s = x.clone();
+        sigmoid_assign(&mut s);
+        assert_eq!(s, x.map(stable_sigmoid));
+        let mut i = x.clone();
+        activation_assign(Activation::Identity, &mut i);
+        assert_eq!(i, x);
+    }
+
+    #[test]
+    fn gather_concat2_interleaves_rows() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(2, 1, vec![10.0, 20.0]);
+        let mut out = Matrix::zeros(2, 3);
+        gather_concat2_assign(&a, &[2, 0], &b, &[0, 1], &mut out);
+        assert_eq!(
+            out,
+            Matrix::from_vec(2, 3, vec![5.0, 6.0, 10.0, 1.0, 2.0, 20.0])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gather index")]
+    fn gather_concat2_rejects_out_of_range() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(1, 4);
+        gather_concat2_assign(&a, &[5], &b, &[0], &mut out);
+    }
+}

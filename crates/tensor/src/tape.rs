@@ -27,6 +27,7 @@
 //! assert!(grads.get(w).is_some());
 //! ```
 
+use crate::ops::{self, stable_sigmoid};
 use crate::pool::MatrixPool;
 use crate::{Gradients, Matrix, ParamId, ParamStore};
 use rand::Rng;
@@ -251,10 +252,11 @@ impl<'s> Tape<'s> {
 
     // ---- linear algebra --------------------------------------------------
 
-    /// Matrix product.
+    /// Matrix product (forward math shared with the inference executor
+    /// through [`crate::ops::matmul`]).
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let mut out = self.alloc(self.value(a).rows(), self.value(b).cols());
-        self.value(a).matmul_into(self.value(b), &mut out);
+        ops::matmul(self.value(a), self.value(b), &mut out);
         self.push(out, Op::MatMul { a, b })
     }
 
@@ -305,7 +307,8 @@ impl<'s> Tape<'s> {
 
     /// Adds a `1 x m` row vector to each row of an `n x m` matrix (bias add).
     pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
-        let value = self.value(a).add_row_broadcast(self.value(row));
+        let mut value = self.alloc_copy(self.value(a));
+        ops::add_row_broadcast_assign(&mut value, self.value(row));
         self.push(value, Op::AddRowBroadcast { a, row })
     }
 
@@ -319,19 +322,22 @@ impl<'s> Tape<'s> {
 
     /// `max(0, x)` elementwise.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| x.max(0.0));
+        let mut value = self.alloc_copy(self.value(a));
+        ops::relu_assign(&mut value);
         self.push(value, Op::Relu { a })
     }
 
     /// Logistic sigmoid elementwise.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(stable_sigmoid);
+        let mut value = self.alloc_copy(self.value(a));
+        ops::sigmoid_assign(&mut value);
         self.push(value, Op::Sigmoid { a })
     }
 
     /// Hyperbolic tangent elementwise.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let mut value = self.alloc_copy(self.value(a));
+        ops::tanh_assign(&mut value);
         self.push(value, Op::Tanh { a })
     }
 
@@ -727,16 +733,6 @@ impl Matrix {
             }
         }
         out
-    }
-}
-
-/// Overflow-safe logistic sigmoid.
-pub fn stable_sigmoid(z: f32) -> f32 {
-    if z >= 0.0 {
-        1.0 / (1.0 + (-z).exp())
-    } else {
-        let e = z.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -406,6 +406,68 @@ proptest! {
         prop_assert!(bit_equal(st_sparse.get(table), st_dense.get(table)));
     }
 
+    /// The two forward executors are bit-identical, not merely close:
+    /// tape inference (`forward_inference` + `Tape::sigmoid`) and the
+    /// tape-free `InferCtx` path run the same shared ops in the same
+    /// order, across tower depths, widths, activations and batch sizes
+    /// (dropout configured but off at inference).
+    #[test]
+    fn tape_free_forward_is_bit_identical_to_tape_inference(
+        widths in proptest::collection::vec(1usize..9, 2..6),
+        act_idx in 0usize..4,
+        rows in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        use st_tensor::{Activation, InferCtx, Mlp};
+        let act = [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ][act_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &widths, act, 0.4, &mut rng);
+        let x = Init::Gaussian { std: 1.0 }.sample(rows, widths[0], &mut rng);
+
+        let mut tape = Tape::new(&store);
+        let xv = tape.input(x.clone());
+        let logits = mlp.forward_inference(&mut tape, xv);
+        let probs = tape.sigmoid(logits);
+
+        let mut ctx = InferCtx::new();
+        ctx.set_input(&x);
+        mlp.forward_infer(&store, &mut ctx);
+        ctx.sigmoid();
+
+        prop_assert!(
+            bit_equal(ctx.value(), tape.value(probs)),
+            "executors diverged: widths {widths:?}, {act:?}, {rows} rows"
+        );
+    }
+
+    /// The fused embedding gather + pair concat equals the tape's
+    /// two-step gather-then-concat to the last bit (both are pure row
+    /// copies).
+    #[test]
+    fn fused_gather_concat_matches_gather_then_concat_bitwise(
+        da in 1usize..6,
+        db in 1usize..6,
+        ai in proptest::collection::vec(0usize..6, 1..9),
+        seed in 0u64..1000,
+    ) {
+        use st_tensor::InferCtx;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Init::Gaussian { std: 1.0 }.sample(6, da, &mut rng);
+        let b = Init::Gaussian { std: 1.0 }.sample(6, db, &mut rng);
+        let bi: Vec<usize> = ai.iter().map(|&i| 5 - i).collect();
+
+        let expected = a.gather_rows(&ai).concat_cols(&b.gather_rows(&bi));
+        let mut ctx = InferCtx::new();
+        ctx.gather_concat2(&a, &ai, &b, &bi);
+        prop_assert!(bit_equal(ctx.value(), &expected));
+    }
+
     /// Lazy Adam stays within a small tolerance of the dense oracle over
     /// arbitrary touch patterns (exact on rows touched every step; skipped
     /// rows miss only the oracle's momentum-tail updates, which are
