@@ -1,15 +1,23 @@
 //! Serving load-generator binary.
 //!
-//! Drives a real `st-serve` server over loopback through the three
-//! scenarios in [`st_bench::serve_load`] and writes the report to
-//! `BENCH_PR2.json` at the repo root (override the path with
+//! Default mode drives a real `st-serve` server over loopback through
+//! the three scenarios in [`st_bench::serve_load`] and writes the report
+//! to `BENCH_PR2.json` at the repo root (override the path with
 //! `ST_BENCH_OUT`, the schedule with `ST_LOADGEN_CLIENTS` /
 //! `ST_LOADGEN_REQS`).
+//!
+//! `--chaos [--seed N] [--extra-phases N]` instead replays the seeded
+//! fault plan from [`st_bench::chaos`] twice and exits nonzero unless
+//! every invariant holds: conservation (each request reaches exactly one
+//! terminal outcome), server metrics matching the client tallies, every
+//! outcome as the plan predicts, and identical counts across the two
+//! passes. The chaos report goes to `BENCH_CHAOS.json` (or
+//! `ST_BENCH_OUT`).
 //!
 //! Build with `--release`: a debug-build forward pass drowns out
 //! everything the batcher does.
 
-use st_bench::serve_load;
+use st_bench::{chaos, serve_load};
 use std::path::PathBuf;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -20,7 +28,78 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn run_chaos_mode(mut args: std::env::Args) -> ! {
+    let mut seed = 42u64;
+    let mut extra_phases = 3usize;
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--chaos" => {}
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--extra-phases" => {
+                extra_phases = value("--extra-phases").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --extra-phases must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown chaos-mode flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_CHAOS.json"
+            ))
+        });
+
+    eprintln!("replaying chaos plan for seed {seed} (twice, {extra_phases} extra phases)...");
+    let report = chaos::run_chaos_twice(seed, extra_phases);
+    let c = &report.counts;
+    eprintln!(
+        "  {} phases: submitted {} = served {} + shed {} + expired {} + degraded {} + failed {}",
+        report.phases, c.submitted, c.served, c.shed, c.expired, c.degraded, c.failed
+    );
+    eprintln!(
+        "  conservation {} | metrics consistent {} | outcomes expected {} | reproducible {} | shed p99 {} us",
+        report.conservation_ok,
+        report.metrics_consistent,
+        report.all_outcomes_expected,
+        report.reproducible,
+        report.shed_p99_us
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write chaos report");
+    eprintln!("wrote {}", out_path.display());
+
+    if !report.ok() {
+        eprintln!("CHAOS INVARIANT VIOLATION (see report above)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--chaos") {
+        let mut args = std::env::args();
+        args.next(); // binary name
+        run_chaos_mode(args);
+    }
     let clients = env_usize("ST_LOADGEN_CLIENTS", 8);
     let requests_per_client = env_usize("ST_LOADGEN_REQS", 150);
     let reps = env_usize("ST_LOADGEN_REPS", 3);

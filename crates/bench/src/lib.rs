@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod infer_perf;
 pub mod json;

@@ -1,29 +1,39 @@
 //! The micro-batcher: coalesces concurrent recommendation requests into
-//! one batched forward pass.
+//! one batched forward pass, behind overload-safe admission control.
 //!
 //! HTTP workers submit [`BatchRequest`]s and block on a per-request
-//! channel. A single batcher thread takes the first queued request,
-//! waits up to the configured window for more to arrive (leaving early
-//! when `max_batch` fills), then concatenates every request's
+//! channel. Admission is bounded: a queue at `queue_capacity` sheds new
+//! submissions synchronously with [`SubmitError::QueueFull`] instead of
+//! growing without limit, and every queued job carries its enqueue time
+//! so the drain path can drop jobs whose `deadline` passed before
+//! scoring ([`SubmitError::DeadlineExceeded`]) — one slow batch delays
+//! the queue, it does not cascade into a convoy of doomed work.
+//!
+//! A single batcher thread takes the first queued request, waits up to
+//! the configured window for more to arrive (leaving early when
+//! `max_batch` fills), then concatenates every request's
 //! `(user, candidate)` pairs into one scoring call against the
 //! generation's frozen [`st_transrec_core::ModelSnapshot`] — tape-free
 //! `InferCtx` execution over scratch buffers the batcher thread owns and
-//! reuses for its whole lifetime, so steady-state scoring allocates
-//! nothing and never touches the autodiff tape. Scores are split back
-//! per request and ranked exactly like `recommend_top_k` (descending
-//! `total_cmp`, POI-id tiebreak), so a batched response is bit-identical
-//! to an unbatched one.
+//! reuses for its whole lifetime. Scores are split back per request and
+//! ranked exactly like `recommend_top_k`, so a batched response is
+//! bit-identical to an unbatched one.
 //!
-//! The whole batch scores against one model snapshot grabbed at
-//! execution time; the reply carries that snapshot's epoch so callers
-//! cache under the generation that actually produced the result.
+//! Every submitted job reaches exactly one terminal outcome: scored,
+//! shed at admission, expired in queue, failed by an injected fault, or
+//! answered with a shutdown error. The shutdown flag lives under the
+//! same mutex as the queue, so no job can slip in between the stop flag
+//! and the final drain — the conservation invariant the chaos harness
+//! asserts end to end.
 
+use crate::fault::FaultInjector;
 use crate::metrics::{Metrics, BATCH_BUCKETS};
 use crate::snapshot::ModelCell;
 use st_data::{PoiId, UserId};
 use st_transrec_core::ModelSnapshot as FrozenModel;
 use st_transrec_core::{InferCtx, Recommendation, STTransRec};
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -65,7 +75,7 @@ pub struct BatchRequest {
 }
 
 /// The batcher's answer to one request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchReply {
     /// Epoch of the model snapshot that scored this request.
     pub epoch: u64,
@@ -73,20 +83,57 @@ pub struct BatchReply {
     pub recs: Vec<Recommendation>,
 }
 
+/// Why a submission did not get a scored reply. Every variant is a
+/// terminal outcome: the submitter got its answer, just not a ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Shed at admission: the queue was at capacity (HTTP `429`).
+    QueueFull,
+    /// The job sat in the queue past its deadline and was dropped before
+    /// scoring (HTTP `503`).
+    DeadlineExceeded,
+    /// The batcher is shutting down (HTTP `503`).
+    ShuttingDown,
+    /// An injected scorer fault failed the batch (HTTP `500`; only
+    /// reachable with a [`FaultInjector`] attached).
+    ScorerFailed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "queue full"),
+            SubmitError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            SubmitError::ShuttingDown => write!(f, "shutting down"),
+            SubmitError::ScorerFailed => write!(f, "scorer failed"),
+        }
+    }
+}
+
 struct Job {
     req: BatchRequest,
-    tx: mpsc::Sender<BatchReply>,
+    tx: mpsc::Sender<Result<BatchReply, SubmitError>>,
+    enqueued_at: Instant,
+}
+
+/// Queue and shutdown flag under ONE mutex: `submit` checks the flag and
+/// enqueues atomically, so a job either lands before the batcher's final
+/// drain (and gets answered) or is rejected — never silently parked.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    state: Mutex<QueueState>,
     arrived: Condvar,
-    shutdown: Mutex<bool>,
 }
 
 /// Handle to the batcher thread.
 pub struct MicroBatcher {
     shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    config: BatchConfig,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -110,6 +157,14 @@ pub struct BatchConfig {
     /// batch is *slower* than a few cache-resident ones. Also bounds
     /// peak scoring memory. 0 disables chunking.
     pub chunk_pairs: usize,
+    /// Most jobs the queue will hold; submissions beyond this are shed
+    /// with [`SubmitError::QueueFull`]. 0 disables the bound (the
+    /// pre-overload-control behaviour; not recommended in production).
+    pub queue_capacity: usize,
+    /// How long a job may wait in the queue before the drain path drops
+    /// it with [`SubmitError::DeadlineExceeded`] instead of scoring it.
+    /// Zero disables deadlines.
+    pub deadline: Duration,
 }
 
 impl Default for BatchConfig {
@@ -118,48 +173,94 @@ impl Default for BatchConfig {
             window: Duration::from_micros(500),
             max_batch: 64,
             chunk_pairs: 256,
+            queue_capacity: 4096,
+            deadline: Duration::ZERO,
         }
     }
 }
 
+/// How often the batcher re-checks a closed fault gate (and shutdown).
+const FREEZE_POLL: Duration = Duration::from_micros(200);
+
 impl MicroBatcher {
     /// Spawns the batcher thread over `cell`'s current model.
     pub fn start(cell: Arc<ModelCell>, metrics: Arc<Metrics>, config: BatchConfig) -> Self {
+        Self::start_with_faults(cell, metrics, config, None)
+    }
+
+    /// [`start`](MicroBatcher::start) with fault-injection hooks
+    /// attached; the chaos harness and tests drive `injector` to freeze
+    /// the drain path, pad scoring latency, or force batch failures.
+    pub fn start_with_faults(
+        cell: Arc<ModelCell>,
+        metrics: Arc<Metrics>,
+        config: BatchConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Self {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
             arrived: Condvar::new(),
-            shutdown: Mutex::new(false),
         });
         let worker_shared = shared.clone();
+        let worker_metrics = metrics.clone();
         let handle = std::thread::Builder::new()
             .name("st-serve-batcher".into())
-            .spawn(move || batcher_loop(worker_shared, cell, metrics, config))
+            .spawn(move || batcher_loop(worker_shared, cell, worker_metrics, config, injector))
             .expect("spawn batcher thread");
         Self {
             shared,
+            metrics,
+            config,
             handle: Some(handle),
         }
     }
 
-    /// Submits a request and blocks until its batch executes. `None`
-    /// only when the batcher is shutting down.
-    pub fn submit(&self, req: BatchRequest) -> Option<BatchReply> {
+    /// Submits a request and blocks until it reaches a terminal outcome:
+    /// a scored reply, a synchronous shed when the queue is full, or an
+    /// error from the drain path (deadline, injected fault, shutdown).
+    pub fn submit(&self, req: BatchRequest) -> Result<BatchReply, SubmitError> {
         let (tx, rx) = mpsc::channel();
         {
-            let mut queue = self.shared.queue.lock().expect("batcher queue poisoned");
-            if *self.shared.shutdown.lock().expect("shutdown poisoned") {
-                return None;
+            let mut state = self.shared.state.lock().expect("batcher queue poisoned");
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
             }
-            queue.push_back(Job { req, tx });
+            if self.config.queue_capacity > 0 && state.jobs.len() >= self.config.queue_capacity {
+                self.metrics.shed_total.fetch_add(1, Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            state.jobs.push_back(Job {
+                req,
+                tx,
+                enqueued_at: Instant::now(),
+            });
+            self.metrics
+                .queue_depth
+                .store(state.jobs.len() as u64, Relaxed);
         }
         self.shared.arrived.notify_all();
-        rx.recv().ok()
+        // A closed channel without a message can only mean the batcher
+        // died; report it as a shutdown rather than hanging or panicking.
+        rx.recv().unwrap_or(Err(SubmitError::ShuttingDown))
     }
 
-    /// Stops the batcher thread, answering queued jobs first.
+    /// Live queue depth (jobs admitted but not yet drained).
+    pub fn queue_depth(&self) -> usize {
+        self.metrics.queue_depth.load(Relaxed) as usize
+    }
+
+    /// Stops the batcher thread, answering queued jobs first: jobs
+    /// already admitted are scored (or expired) before the thread exits,
+    /// and submissions from then on get [`SubmitError::ShuttingDown`].
     pub fn shutdown(&mut self) {
-        *self.shared.shutdown.lock().expect("shutdown poisoned") = true;
+        {
+            let mut state = self.shared.state.lock().expect("batcher queue poisoned");
+            state.shutdown = true;
+        }
         self.shared.arrived.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -178,22 +279,38 @@ fn batcher_loop(
     cell: Arc<ModelCell>,
     metrics: Arc<Metrics>,
     config: BatchConfig,
+    injector: Option<Arc<FaultInjector>>,
 ) {
     // The batcher thread's scratch buffers, reused across every batch it
     // ever scores: zero allocations per batch once warmed up.
     let mut ctx = InferCtx::new();
     loop {
-        // Wait for the first request (or shutdown).
-        let mut queue = shared.queue.lock().expect("batcher queue poisoned");
-        while queue.is_empty() {
-            if *shared.shutdown.lock().expect("shutdown poisoned") {
+        // Wait for the first request (or shutdown). Because the shutdown
+        // flag shares the queue mutex, "empty and shutting down" is a
+        // stable exit condition: nothing can be enqueued after it.
+        let mut state = shared.state.lock().expect("batcher queue poisoned");
+        while state.jobs.is_empty() {
+            if state.shutdown {
                 return;
             }
-            queue = shared
+            state = shared
                 .arrived
-                .wait_timeout(queue, Duration::from_millis(50))
+                .wait_timeout(state, Duration::from_millis(50))
                 .expect("batcher queue poisoned")
                 .0;
+        }
+
+        // Fault gate, checked with jobs in hand and before any drain:
+        // while frozen, stay off the queue so admission (and shedding)
+        // continues while the backlog builds — once `freeze()` returns,
+        // no new drain can start. Shutdown overrides the freeze so a
+        // frozen server still stops cleanly.
+        if let Some(inj) = injector.as_deref() {
+            if inj.frozen() && !state.shutdown {
+                drop(state);
+                std::thread::sleep(FREEZE_POLL);
+                continue;
+            }
         }
 
         // Coalesce: hold the door open up to `window` for more arrivals,
@@ -202,32 +319,66 @@ fn batcher_loop(
         // coming just parks every blocked caller behind a timer, so the
         // wait runs in short quanta and fires once a quantum passes with
         // no growth.
-        if !config.window.is_zero() && queue.len() < config.max_batch {
+        if !config.window.is_zero() && state.jobs.len() < config.max_batch && !state.shutdown {
             let deadline = Instant::now() + config.window;
             let quantum = (config.window / 8).max(Duration::from_micros(20));
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero()
-                    || queue.len() >= config.max_batch
-                    || *shared.shutdown.lock().expect("shutdown poisoned")
-                {
+                if remaining.is_zero() || state.jobs.len() >= config.max_batch || state.shutdown {
                     break;
                 }
-                let before = queue.len();
-                queue = shared
+                let before = state.jobs.len();
+                state = shared
                     .arrived
-                    .wait_timeout(queue, remaining.min(quantum))
+                    .wait_timeout(state, remaining.min(quantum))
                     .expect("batcher queue poisoned")
                     .0;
-                if queue.len() == before {
+                if state.jobs.len() == before {
                     break; // arrivals paused: score what we have
                 }
             }
         }
 
-        let take = queue.len().min(config.max_batch);
-        let batch: Vec<Job> = queue.drain(..take).collect();
-        drop(queue);
+        let take = state.jobs.len().min(config.max_batch);
+        let mut batch: Vec<Job> = state.jobs.drain(..take).collect();
+        metrics.queue_depth.store(state.jobs.len() as u64, Relaxed);
+        drop(state);
+
+        // Deadline pass: drop jobs that aged out while queued, so a slow
+        // or stalled batch ahead of them cannot cascade into scoring
+        // work whose clients have already given up.
+        if !config.deadline.is_zero() {
+            batch.retain(|job| {
+                if job.enqueued_at.elapsed() > config.deadline {
+                    metrics.expired_total.fetch_add(1, Relaxed);
+                    let _ = job.tx.send(Err(SubmitError::DeadlineExceeded));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        if let Some(inj) = injector.as_deref() {
+            // Forced failure: the whole batch errors instead of scoring.
+            if inj.take_batch_failure() {
+                metrics
+                    .injected_failures_total
+                    .fetch_add(batch.len() as u64, Relaxed);
+                for job in batch {
+                    let _ = job.tx.send(Err(SubmitError::ScorerFailed));
+                }
+                continue;
+            }
+            // Latency pad: a deliberately slow scorer.
+            if let Some(pad) = inj.next_pad() {
+                std::thread::sleep(pad);
+            }
+        }
+
         execute_batch(&cell, &metrics, batch, config.chunk_pairs, &mut ctx);
     }
 }
@@ -248,12 +399,10 @@ fn execute_batch(
     }
     let snapshot = cell.current();
 
-    metrics
-        .batches
-        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    metrics.batches.fetch_add(1, Relaxed);
     metrics
         .batched_requests
-        .fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        .fetch_add(batch.len() as u64, Relaxed);
     metrics
         .batch_size
         .observe(batch.len() as u64, &BATCH_BUCKETS);
@@ -300,10 +449,10 @@ fn score_chunk(
         offset += n;
         let recs = rank_top_k(&job.req.candidates, slice, job.req.k);
         // A dropped receiver (client hung up) is not an error.
-        let _ = job.tx.send(BatchReply {
+        let _ = job.tx.send(Ok(BatchReply {
             epoch: snapshot.epoch,
             recs,
-        });
+        }));
     }
 }
 
@@ -336,6 +485,14 @@ mod tests {
         (Arc::new(ModelCell::new(model)), d, split)
     }
 
+    fn request(user: UserId, candidates: &Arc<Vec<PoiId>>, k: usize) -> BatchRequest {
+        BatchRequest {
+            user,
+            candidates: candidates.clone(),
+            k,
+        }
+    }
+
     #[test]
     fn batched_replies_match_recommend_top_k() {
         let (cell, d, split) = cell();
@@ -349,6 +506,7 @@ mod tests {
                 // A chunk cap smaller than one catalog forces the
                 // chunked path; replies must still be exact.
                 chunk_pairs: 16,
+                ..BatchConfig::default()
             },
         );
         let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
@@ -365,11 +523,7 @@ mod tests {
                     let candidates = candidates.clone();
                     scope.spawn(move || {
                         let reply = batcher
-                            .submit(BatchRequest {
-                                user,
-                                candidates,
-                                k: 5,
-                            })
+                            .submit(request(user, &candidates, 5))
                             .expect("batcher alive");
                         (user, reply)
                     })
@@ -383,13 +537,8 @@ mod tests {
                 assert_eq!(reply.recs, expected, "user {user:?}");
             }
         });
-        assert_eq!(
-            metrics
-                .batched_requests
-                .load(std::sync::atomic::Ordering::Relaxed),
-            6
-        );
-        assert!(metrics.batches.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert_eq!(metrics.batched_requests.load(Relaxed), 6);
+        assert!(metrics.batches.load(Relaxed) >= 1);
     }
 
     #[test]
@@ -407,16 +556,10 @@ mod tests {
         );
         let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
         for &user in split.test_users.iter().take(3) {
-            let reply = batcher
-                .submit(BatchRequest {
-                    user,
-                    candidates: candidates.clone(),
-                    k: 3,
-                })
-                .unwrap();
+            let reply = batcher.submit(request(user, &candidates, 3)).unwrap();
             assert_eq!(reply.recs.len(), 3);
         }
-        let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+        let batches = metrics.batches.load(Relaxed);
         assert_eq!(batches, 3, "every request is its own batch");
     }
 
@@ -426,20 +569,218 @@ mod tests {
         let batcher = MicroBatcher::start(cell, Arc::new(Metrics::new()), BatchConfig::default());
         let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
         let reply = batcher
-            .submit(BatchRequest {
-                user: split.test_users[0],
-                candidates,
-                k: 0,
-            })
+            .submit(request(split.test_users[0], &candidates, 0))
             .unwrap();
         assert!(reply.recs.is_empty());
         let reply = batcher
-            .submit(BatchRequest {
-                user: split.test_users[0],
-                candidates: Arc::new(Vec::new()),
-                k: 5,
-            })
+            .submit(request(split.test_users[0], &Arc::new(Vec::new()), 5))
             .unwrap();
         assert!(reply.recs.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_synchronously() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let injector = Arc::new(FaultInjector::new(1));
+        injector.freeze();
+        let batcher = MicroBatcher::start_with_faults(
+            cell,
+            metrics.clone(),
+            BatchConfig {
+                window: Duration::ZERO,
+                queue_capacity: 3,
+                ..BatchConfig::default()
+            },
+            Some(injector.clone()),
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+
+        // With the drain frozen, park `capacity` submitters in the queue
+        // from background threads, then overflow from this one.
+        std::thread::scope(|scope| {
+            let mut parked = Vec::new();
+            for &user in split.test_users.iter().take(3) {
+                let batcher = &batcher;
+                let candidates = candidates.clone();
+                parked.push(scope.spawn(move || batcher.submit(request(user, &candidates, 3))));
+            }
+            while batcher.queue_depth() < 3 {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            for _ in 0..4 {
+                assert_eq!(
+                    batcher.submit(request(split.test_users[0], &candidates, 3)),
+                    Err(SubmitError::QueueFull)
+                );
+            }
+            assert_eq!(metrics.shed_total.load(Relaxed), 4);
+            injector.thaw();
+            for h in parked {
+                assert!(h.join().unwrap().is_ok(), "parked submitter served");
+            }
+        });
+        assert_eq!(metrics.queue_depth.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn frozen_batcher_expires_queued_jobs_past_deadline() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let injector = Arc::new(FaultInjector::new(1));
+        injector.freeze();
+        let batcher = MicroBatcher::start_with_faults(
+            cell,
+            metrics.clone(),
+            BatchConfig {
+                window: Duration::ZERO,
+                deadline: Duration::from_millis(30),
+                ..BatchConfig::default()
+            },
+            Some(injector.clone()),
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+
+        std::thread::scope(|scope| {
+            let mut parked = Vec::new();
+            for &user in split.test_users.iter().take(3) {
+                let batcher = &batcher;
+                let candidates = candidates.clone();
+                parked.push(scope.spawn(move || batcher.submit(request(user, &candidates, 3))));
+            }
+            while batcher.queue_depth() < 3 {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            // Hold the freeze well past the deadline, then let the drain
+            // path discover the expired jobs.
+            std::thread::sleep(Duration::from_millis(80));
+            injector.thaw();
+            for h in parked {
+                assert_eq!(h.join().unwrap(), Err(SubmitError::DeadlineExceeded));
+            }
+        });
+        assert_eq!(metrics.expired_total.load(Relaxed), 3);
+        // A fresh request after the storm scores normally.
+        let reply = batcher.submit(request(split.test_users[0], &candidates, 3));
+        assert!(reply.is_ok());
+    }
+
+    #[test]
+    fn injected_scorer_failure_answers_every_job() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let injector = Arc::new(FaultInjector::new(1));
+        injector.freeze();
+        let batcher = MicroBatcher::start_with_faults(
+            cell,
+            metrics.clone(),
+            BatchConfig {
+                window: Duration::ZERO,
+                ..BatchConfig::default()
+            },
+            Some(injector.clone()),
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+
+        std::thread::scope(|scope| {
+            let mut parked = Vec::new();
+            for &user in split.test_users.iter().take(2) {
+                let batcher = &batcher;
+                let candidates = candidates.clone();
+                parked.push(scope.spawn(move || batcher.submit(request(user, &candidates, 3))));
+            }
+            while batcher.queue_depth() < 2 {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            injector.fail_next_batches(1);
+            injector.thaw();
+            for h in parked {
+                assert_eq!(h.join().unwrap(), Err(SubmitError::ScorerFailed));
+            }
+        });
+        assert_eq!(metrics.injected_failures_total.load(Relaxed), 2);
+        // The failure budget is spent: the next request scores.
+        assert!(batcher
+            .submit(request(split.test_users[0], &candidates, 3))
+            .is_ok());
+    }
+
+    /// Regression test for the drain race: a job enqueued between the
+    /// stop flag being set and the final drain used to be silently
+    /// dropped, leaving its submitter blocked forever. With the flag
+    /// under the queue mutex, every submitter must get either a scored
+    /// reply or a clean `ShuttingDown` error — never a hang.
+    #[test]
+    fn concurrent_submit_and_shutdown_loses_no_submitter() {
+        for round in 0..8 {
+            let (cell, d, split) = cell();
+            let metrics = Arc::new(Metrics::new());
+            let mut batcher = MicroBatcher::start(
+                cell,
+                metrics.clone(),
+                BatchConfig {
+                    window: Duration::ZERO,
+                    max_batch: 4,
+                    ..BatchConfig::default()
+                },
+            );
+            let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+            let user = split.test_users[0];
+
+            let (served, refused) = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..4 {
+                    let batcher = &batcher;
+                    let candidates = candidates.clone();
+                    handles.push(scope.spawn(move || {
+                        let mut served = 0usize;
+                        let mut refused = 0usize;
+                        for i in 0..50 {
+                            match batcher.submit(request(user, &candidates, 2)) {
+                                Ok(_) => served += 1,
+                                Err(SubmitError::ShuttingDown) => refused += 1,
+                                Err(e) => panic!("unexpected outcome: {e}"),
+                            }
+                            // Stagger threads so the shutdown lands at a
+                            // different interleaving each round.
+                            if (i + t + round) % 7 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                        (served, refused)
+                    }));
+                }
+                // Let some traffic through, then stop mid-flight.
+                std::thread::sleep(Duration::from_millis(2 + round as u64));
+                // SAFETY of the borrow: shutdown only joins the batcher
+                // thread; submitters still hold &batcher and must all
+                // resolve. Scoped threads guarantee they finish here.
+                let batcher_ref: &MicroBatcher = &batcher;
+                // Trigger shutdown through the shared state exactly like
+                // `shutdown()` does, without taking `&mut` (submitters
+                // hold shared borrows).
+                {
+                    let mut state = batcher_ref
+                        .shared
+                        .state
+                        .lock()
+                        .expect("batcher queue poisoned");
+                    state.shutdown = true;
+                }
+                batcher_ref.shared.arrived.notify_all();
+
+                let mut served = 0usize;
+                let mut refused = 0usize;
+                for h in handles {
+                    let (s, r) = h.join().unwrap();
+                    served += s;
+                    refused += r;
+                }
+                (served, refused)
+            });
+            batcher.shutdown();
+            assert_eq!(served + refused, 200, "every submitter resolved");
+            assert_eq!(metrics.queue_depth.load(Relaxed), 0, "no job left behind");
+        }
     }
 }

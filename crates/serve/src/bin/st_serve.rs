@@ -33,6 +33,9 @@ struct Args {
     workers: usize,
     batch_window_us: u64,
     max_batch: usize,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    degrade_watermark: usize,
     cache_capacity: usize,
     watch_interval_ms: u64,
     config: String,
@@ -51,6 +54,9 @@ impl Default for Args {
             workers: 4,
             batch_window_us: 500,
             max_batch: 64,
+            queue_capacity: 4096,
+            deadline_ms: 0,
+            degrade_watermark: 0,
             cache_capacity: 4096,
             watch_interval_ms: 0,
             config: "test-small".into(),
@@ -74,6 +80,12 @@ OPTIONS:
   --workers N             HTTP worker threads              [default: 4]
   --batch-window-us U     micro-batch coalescing window  [default: 500]
   --max-batch N           max requests per forward pass   [default: 64]
+  --queue-capacity N      batcher queue bound; overflow sheds with 429
+                          (0 = unbounded)               [default: 4096]
+  --deadline-ms MS        queued-request deadline; expired jobs get 503
+                          (0 = off)                        [default: 0]
+  --degrade-watermark N   queue depth above which requests fall back to
+                          stale cached results (0 = off)   [default: 0]
   --cache-capacity N      LRU result-cache entries      [default: 4096]
   --watch-interval-ms MS  checkpoint mtime watcher (0=off) [default: 0]
   --config NAME           test-small | foursquare | yelp
@@ -120,6 +132,21 @@ fn parse_args() -> Args {
                 args.max_batch = value("--max-batch")
                     .parse()
                     .unwrap_or_else(|_| fail("--max-batch must be an integer"))
+            }
+            "--queue-capacity" => {
+                args.queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue-capacity must be an integer"))
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--deadline-ms must be an integer"))
+            }
+            "--degrade-watermark" => {
+                args.degrade_watermark = value("--degrade-watermark")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--degrade-watermark must be an integer"))
             }
             "--cache-capacity" => {
                 args.cache_capacity = value("--cache-capacity")
@@ -252,11 +279,14 @@ fn main() {
         batch: BatchConfig {
             window: Duration::from_micros(args.batch_window_us),
             max_batch: args.max_batch.max(1),
+            queue_capacity: args.queue_capacity,
+            deadline: Duration::from_millis(args.deadline_ms),
             ..BatchConfig::default()
         },
         cache_capacity: args.cache_capacity,
         watch_interval: (args.watch_interval_ms > 0)
             .then(|| Duration::from_millis(args.watch_interval_ms)),
+        degrade_watermark: args.degrade_watermark,
         ..ServeConfig::default()
     };
     let engine = Engine::new(dataset.clone(), model, Some(reloader), &serve_config);

@@ -1,0 +1,342 @@
+//! Deterministic fault injection for overload and chaos testing.
+//!
+//! Two pieces:
+//!
+//! - [`FaultInjector`] — the runtime hooks the micro-batcher consults on
+//!   its drain path: a **freeze gate** that holds the batcher off the
+//!   queue (so admission control keeps running while the queue fills — a
+//!   stand-in for a stalled scorer), a **forced-failure budget** (the
+//!   next N batches answer every job with a scorer error instead of
+//!   scoring), and a **latency pad** (every batch sleeps a base plus a
+//!   seeded-RNG jitter before scoring, simulating a slow model). All
+//!   hooks default to "off"; a server built without an injector pays one
+//!   `Option` check per batch.
+//! - [`FaultPlan`] — a seed-reproducible chaos schedule: a sequence of
+//!   [`ChaosPhase`]s expanded from a single `u64` seed through the
+//!   deterministic `st-rand` generator. The same seed always yields the
+//!   same phases with the same parameters, so every chaos run's expected
+//!   shed/expired/degraded/served counts are computable up front and two
+//!   runs with the same seed must report identical counts.
+//!
+//! The injector carries no clock and no thread of its own: all timing
+//! comes from whoever drives it (the chaos harness opens and closes the
+//! gate around deterministic queue states), which is what makes the
+//! chaos scenarios reproducible instead of schedule-dependent.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Runtime fault hooks consulted by the batcher's drain path.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// While set, the batcher leaves the queue untouched (admission and
+    /// shedding keep running), as if the scorer had stalled.
+    frozen: AtomicBool,
+    /// Number of upcoming batches to fail outright instead of scoring.
+    fail_batches: AtomicU64,
+    /// Base pre-scoring sleep per batch, microseconds (0 = off).
+    pad_base_us: AtomicU64,
+    /// Upper bound on the seeded random extra pad, microseconds.
+    pad_jitter_us: AtomicU64,
+    /// Deterministic jitter source; consumed once per padded batch.
+    rng: Mutex<SmallRng>,
+}
+
+impl FaultInjector {
+    /// Creates an injector with every fault disabled. `seed` drives the
+    /// latency-pad jitter sequence.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            frozen: AtomicBool::new(false),
+            fail_batches: AtomicU64::new(0),
+            pad_base_us: AtomicU64::new(0),
+            pad_jitter_us: AtomicU64::new(0),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Closes the gate: the batcher stops draining until [`thaw`].
+    ///
+    /// [`thaw`]: FaultInjector::thaw
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::Release);
+    }
+
+    /// Reopens the gate.
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::Release);
+    }
+
+    /// Whether the gate is currently closed.
+    pub fn frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// Arms the next `n` batches to fail with a scorer error.
+    pub fn fail_next_batches(&self, n: u64) {
+        self.fail_batches.store(n, Ordering::Release);
+    }
+
+    /// Consumes one unit of the failure budget; `true` means the caller
+    /// must fail the batch it is about to score.
+    pub fn take_batch_failure(&self) -> bool {
+        self.fail_batches
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Sets the per-batch latency pad: every batch sleeps `base_us` plus
+    /// a uniformly random `0..=jitter_us` before scoring. Zero both to
+    /// disable.
+    pub fn set_latency_pad(&self, base_us: u64, jitter_us: u64) {
+        self.pad_base_us.store(base_us, Ordering::Release);
+        self.pad_jitter_us.store(jitter_us, Ordering::Release);
+    }
+
+    /// The pad to apply to the batch about to score, if any. Draws one
+    /// jitter sample from the seeded RNG per padded batch.
+    pub fn next_pad(&self) -> Option<Duration> {
+        let base = self.pad_base_us.load(Ordering::Acquire);
+        let jitter = self.pad_jitter_us.load(Ordering::Acquire);
+        if base == 0 && jitter == 0 {
+            return None;
+        }
+        let extra = if jitter == 0 {
+            0
+        } else {
+            self.rng
+                .lock()
+                .expect("fault rng poisoned")
+                .gen_range(0..=jitter)
+        };
+        Some(Duration::from_micros(base + extra))
+    }
+}
+
+/// One step of a chaos schedule. Counts below are in requests; the
+/// harness derives the expected terminal outcome of every request in the
+/// phase from the phase parameters alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPhase {
+    /// Plain traffic with distinct users: every request scores, `200`.
+    Normal {
+        /// Requests to issue.
+        requests: usize,
+    },
+    /// Traffic under a latency-padded scorer: still every request `200`,
+    /// but each batch sleeps `pad_us` (+ seeded jitter) first.
+    PaddedTraffic {
+        /// Requests to issue.
+        requests: usize,
+        /// Base pad per batch, microseconds.
+        pad_us: u64,
+    },
+    /// Freeze the batcher, submit `queue capacity + excess` concurrent
+    /// requests: exactly `capacity` enqueue, exactly `excess` shed with
+    /// `429`, then the thaw serves the queued ones.
+    Burst {
+        /// Requests beyond the queue capacity (each one sheds).
+        excess: usize,
+    },
+    /// Freeze the batcher, queue `queued` requests, hold the freeze past
+    /// the deadline: every queued request expires with `503`.
+    DeadlineExpiry {
+        /// Requests to park in the queue (at most the capacity).
+        queued: usize,
+    },
+    /// Warm the caches for `warm` keys, hot-reload (invalidating the
+    /// fresh epoch-keyed cache), freeze, fill the queue to the
+    /// high-watermark, then issue `hits` requests for warmed keys: all
+    /// `hits` are answered degraded from the stale cache.
+    DegradedServe {
+        /// Keys to warm before the overload.
+        warm: usize,
+        /// Requests for warmed keys under overload (each one degrades).
+        hits: usize,
+    },
+    /// Freeze, queue `queued` requests, hot-reload mid-burst, thaw: all
+    /// queued requests are served (by whichever epoch scores them) —
+    /// zero requests lost.
+    ReloadMidBurst {
+        /// Requests to park in the queue (at most the capacity).
+        queued: usize,
+    },
+    /// Freeze, queue `queued` requests, arm a forced scorer failure,
+    /// thaw: every queued request gets a clean `500`.
+    ScorerFailure {
+        /// Requests to park in the queue (at most one batch).
+        queued: usize,
+    },
+}
+
+/// A seed-reproducible chaos schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed that generated (and reproduces) this plan.
+    pub seed: u64,
+    /// Phases in execution order.
+    pub phases: Vec<ChaosPhase>,
+}
+
+impl FaultPlan {
+    /// Expands `seed` into a chaos schedule sized against the serving
+    /// limits it will run under. The plan always covers every fault mode
+    /// at least once (one deck of all seven phases), then appends
+    /// `extra_phases` more drawn at random; order and parameters are
+    /// fully determined by the seed.
+    ///
+    /// `queue_capacity` and `degrade_watermark` bound the phase
+    /// parameters so each phase's outcome is exact: queued counts never
+    /// exceed the capacity, burst excess is at least 1, and degraded
+    /// phases never warm more keys than the watermark leaves room for.
+    pub fn from_seed(
+        seed: u64,
+        queue_capacity: usize,
+        degrade_watermark: usize,
+        extra_phases: usize,
+    ) -> Self {
+        assert!(queue_capacity >= 2, "chaos needs a queue to fill");
+        assert!(
+            (1..=queue_capacity).contains(&degrade_watermark),
+            "watermark must be within the queue capacity"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draw = |rng: &mut SmallRng, idx: usize| -> ChaosPhase {
+            match idx {
+                0 => ChaosPhase::Normal {
+                    requests: rng.gen_range(4..=12),
+                },
+                1 => ChaosPhase::PaddedTraffic {
+                    requests: rng.gen_range(3..=8),
+                    pad_us: rng.gen_range(200..=2_000),
+                },
+                2 => ChaosPhase::Burst {
+                    excess: rng.gen_range(1..=queue_capacity),
+                },
+                3 => ChaosPhase::DeadlineExpiry {
+                    queued: rng.gen_range(2..=queue_capacity),
+                },
+                4 => ChaosPhase::DegradedServe {
+                    warm: rng.gen_range(2..=4),
+                    hits: rng.gen_range(2..=6),
+                },
+                5 => ChaosPhase::ReloadMidBurst {
+                    queued: rng.gen_range(2..=queue_capacity),
+                },
+                _ => ChaosPhase::ScorerFailure {
+                    queued: rng.gen_range(2..=queue_capacity),
+                },
+            }
+        };
+        // One of each fault mode, shuffled deterministically...
+        let mut phases: Vec<ChaosPhase> = (0..7).map(|i| draw(&mut rng, i)).collect();
+        for i in (1..phases.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            phases.swap(i, j);
+        }
+        // ...plus extra random phases for longer runs.
+        for _ in 0..extra_phases {
+            let idx = rng.gen_range(0usize..7);
+            phases.push(draw(&mut rng, idx));
+        }
+        Self { seed, phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_defaults_are_inert() {
+        let inj = FaultInjector::new(1);
+        assert!(!inj.frozen());
+        assert!(!inj.take_batch_failure());
+        assert!(inj.next_pad().is_none());
+    }
+
+    #[test]
+    fn freeze_thaw_and_failure_budget() {
+        let inj = FaultInjector::new(1);
+        inj.freeze();
+        assert!(inj.frozen());
+        inj.thaw();
+        assert!(!inj.frozen());
+
+        inj.fail_next_batches(2);
+        assert!(inj.take_batch_failure());
+        assert!(inj.take_batch_failure());
+        assert!(!inj.take_batch_failure(), "budget exhausted");
+    }
+
+    #[test]
+    fn latency_pad_jitter_is_seed_deterministic() {
+        let a = FaultInjector::new(42);
+        let b = FaultInjector::new(42);
+        a.set_latency_pad(100, 50);
+        b.set_latency_pad(100, 50);
+        for _ in 0..32 {
+            let (pa, pb) = (a.next_pad().unwrap(), b.next_pad().unwrap());
+            assert_eq!(pa, pb);
+            assert!((100..=150).contains(&(pa.as_micros() as u64)));
+        }
+        a.set_latency_pad(0, 0);
+        assert!(a.next_pad().is_none());
+    }
+
+    #[test]
+    fn plans_are_reproducible_and_cover_every_mode() {
+        let a = FaultPlan::from_seed(7, 8, 6, 5);
+        let b = FaultPlan::from_seed(7, 8, 6, 5);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.phases.len(), 12);
+        let c = FaultPlan::from_seed(8, 8, 6, 5);
+        assert_ne!(a, c, "different seed, different plan");
+
+        // The base deck covers all seven fault modes.
+        let short = FaultPlan::from_seed(3, 8, 6, 0);
+        let mut seen = [false; 7];
+        for p in &short.phases {
+            let idx = match p {
+                ChaosPhase::Normal { .. } => 0,
+                ChaosPhase::PaddedTraffic { .. } => 1,
+                ChaosPhase::Burst { .. } => 2,
+                ChaosPhase::DeadlineExpiry { .. } => 3,
+                ChaosPhase::DegradedServe { .. } => 4,
+                ChaosPhase::ReloadMidBurst { .. } => 5,
+                ChaosPhase::ScorerFailure { .. } => 6,
+            };
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missing a fault mode: {seen:?}");
+    }
+
+    #[test]
+    fn plan_parameters_respect_serving_limits() {
+        for seed in 0..50 {
+            let plan = FaultPlan::from_seed(seed, 6, 4, 8);
+            for phase in &plan.phases {
+                match *phase {
+                    ChaosPhase::Burst { excess } => {
+                        assert!((1..=6).contains(&excess))
+                    }
+                    ChaosPhase::DeadlineExpiry { queued }
+                    | ChaosPhase::ReloadMidBurst { queued }
+                    | ChaosPhase::ScorerFailure { queued } => {
+                        assert!((2..=6).contains(&queued))
+                    }
+                    ChaosPhase::DegradedServe { warm, hits } => {
+                        assert!(warm >= 2 && hits >= 2)
+                    }
+                    ChaosPhase::Normal { requests }
+                    | ChaosPhase::PaddedTraffic { requests, .. } => {
+                        assert!(requests >= 3)
+                    }
+                }
+            }
+        }
+    }
+}

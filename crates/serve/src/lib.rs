@@ -29,6 +29,16 @@
 //! tiny blocking HTTP client used by the end-to-end tests and the
 //! `st-bench` load generator.
 //!
+//! Serving is overload-safe: the batcher queue is bounded (overflow is
+//! shed with `429 Too Many Requests`), queued jobs carry deadlines
+//! (expired work is dropped with `503` before scoring), and above a
+//! configurable queue watermark requests fall back to possibly-stale
+//! cached results marked `"degraded": true` instead of queueing.
+//! [`fault`] provides the deterministic fault-injection hooks (latency
+//! pads, forced scorer errors, queue freezes, seeded [`fault::FaultPlan`]
+//! chaos schedules) that the chaos test suite and `loadgen --chaos` use
+//! to prove those behaviors reproducibly.
+//!
 //! ```no_run
 //! use std::sync::Arc;
 //! use st_data::{synth, CityId, CrossingCitySplit};
@@ -51,14 +61,16 @@
 
 pub mod batcher;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod server;
 pub mod snapshot;
 
-pub use batcher::{BatchConfig, BatchReply, BatchRequest, MicroBatcher, PairScorer};
+pub use batcher::{BatchConfig, BatchReply, BatchRequest, MicroBatcher, PairScorer, SubmitError};
 pub use client::{HttpClient, HttpResponse};
+pub use fault::{ChaosPhase, FaultInjector, FaultPlan};
 pub use lru::LruCache;
 pub use metrics::Metrics;
 pub use server::{render_recommend_body, Engine, ServeConfig, Server};

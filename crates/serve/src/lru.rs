@@ -211,3 +211,129 @@ mod tests {
         assert!(c.is_empty());
     }
 }
+
+/// Differential proptests against a naive oracle, driving the cache the
+/// way serving does: epoch-keyed entries with the epoch bumping on
+/// hot-reload. The slab + linked-list implementation must be observably
+/// identical to a `BTreeMap` plus an explicit recency list — including
+/// which entry every insert evicts — and an entry written under an old
+/// epoch must never come back from a current-epoch lookup.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// Serving-style cache key: `(request id, model epoch)`.
+    type Key = (u8, u64);
+
+    /// The obviously-correct model: a `BTreeMap` for contents and a
+    /// recency `Vec` (front = most recently used) for eviction order.
+    struct Oracle {
+        cap: usize,
+        map: BTreeMap<Key, u64>,
+        recency: Vec<Key>,
+    }
+
+    impl Oracle {
+        fn new(cap: usize) -> Self {
+            Self {
+                cap,
+                map: BTreeMap::new(),
+                recency: Vec::new(),
+            }
+        }
+
+        fn touch(&mut self, key: Key) {
+            self.recency.retain(|&k| k != key);
+            self.recency.insert(0, key);
+        }
+
+        fn get(&mut self, key: &Key) -> Option<u64> {
+            let value = *self.map.get(key)?;
+            self.touch(*key);
+            Some(value)
+        }
+
+        /// Mirrors [`LruCache::insert`]'s return exactly: the bounced
+        /// pair at capacity 0, the replaced value on a re-insert, or the
+        /// evicted LRU entry when full.
+        fn insert(&mut self, key: Key, value: u64) -> Option<(Key, u64)> {
+            if self.cap == 0 {
+                return Some((key, value));
+            }
+            if let Some(old) = self.map.insert(key, value) {
+                self.touch(key);
+                return Some((key, old));
+            }
+            self.touch(key);
+            if self.map.len() > self.cap {
+                let lru = self.recency.pop().expect("oracle recency tracked");
+                let old = self.map.remove(&lru).expect("oracle map tracked");
+                return Some((lru, old));
+            }
+            None
+        }
+    }
+
+    /// Op stream: `(0, id)` = insert under the current epoch, `(1, id)` =
+    /// get under the current epoch, `(2, _)` = epoch bump (hot-reload).
+    /// Small id space and capacities force heavy collision and eviction.
+    fn ops() -> impl Strategy<Value = (usize, Vec<(u8, u8)>)> {
+        (
+            0usize..6,
+            proptest::collection::vec((0u8..3, 0u8..6), 1..250),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn lru_is_observably_identical_to_the_oracle((cap, ops) in ops()) {
+            let mut cache = LruCache::new(cap);
+            let mut oracle = Oracle::new(cap);
+            let mut epoch = 1u64;
+            for (kind, id) in ops {
+                match kind {
+                    0 => {
+                        // Stamp the value with the writing epoch so a
+                        // stale hit is detectable from the value alone.
+                        let evicted = cache.insert((id, epoch), epoch);
+                        let expected = oracle.insert((id, epoch), epoch);
+                        prop_assert_eq!(evicted, expected, "evictions diverged");
+                    }
+                    1 => {
+                        let got = cache.get(&(id, epoch)).copied();
+                        prop_assert_eq!(got, oracle.get(&(id, epoch)));
+                        if let Some(stamp) = got {
+                            prop_assert_eq!(stamp, epoch, "stale epoch served as fresh");
+                        }
+                    }
+                    _ => epoch += 1, // hot-reload: old entries now stale
+                }
+                prop_assert!(cache.len() <= cap, "capacity exceeded: {} > {cap}", cache.len());
+                prop_assert_eq!(cache.len(), oracle.map.len());
+                prop_assert_eq!(cache.is_empty(), oracle.map.is_empty());
+            }
+        }
+
+        #[test]
+        fn entries_from_before_a_reload_never_hit_after_it(
+            ids in proptest::collection::vec(0u8..8, 1..32),
+            bumps in 1u64..4,
+        ) {
+            let mut cache = LruCache::new(64);
+            for &id in &ids {
+                cache.insert((id, 1u64), 1u64);
+            }
+            let epoch = 1 + bumps;
+            for &id in &ids {
+                // Fresh-epoch lookups miss everything written before the
+                // reload; the stale keys are unreachable, not returned.
+                prop_assert_eq!(cache.get(&(id, epoch)), None);
+            }
+            for &id in &ids {
+                prop_assert_eq!(cache.get(&(id, 1u64)).copied(), Some(1u64));
+            }
+        }
+    }
+}

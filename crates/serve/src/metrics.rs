@@ -42,7 +42,35 @@ impl<const N: usize> Histogram<N> {
             }
         }
         self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(value, Relaxed);
+        // The sum saturates instead of wrapping: a wrapped counter reads
+        // as a reset mid-scrape, a pinned one reads as "huge", which is
+        // the honest answer once u64 overflows.
+        let mut cur = self.sum.load(Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self.sum.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the first
+    /// bucket whose cumulative count reaches `q * count`. Observations
+    /// above every bound report the largest bound (the histogram cannot
+    /// resolve further). `None` until something was observed.
+    pub fn quantile(&self, q: f64, bounds: &[u64; N]) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        for (bucket, &bound) in self.buckets.iter().zip(bounds) {
+            if bucket.load(Relaxed) >= rank {
+                return Some(bound);
+            }
+        }
+        bounds.last().copied()
     }
 
     /// Total observations.
@@ -99,6 +127,16 @@ pub struct Metrics {
     pub reloads_ok: AtomicU64,
     /// Rejected hot-reloads (bad checkpoint kept the old model).
     pub reloads_failed: AtomicU64,
+    /// Live batcher queue depth (gauge, maintained by submit/drain).
+    pub queue_depth: AtomicU64,
+    /// Requests shed at admission because the queue was full (429).
+    pub shed_total: AtomicU64,
+    /// Queued requests dropped after their deadline expired (503).
+    pub expired_total: AtomicU64,
+    /// Requests answered from the stale cache under overload.
+    pub degraded_total: AtomicU64,
+    /// Requests failed by an injected scorer fault (500, chaos only).
+    pub injected_failures_total: AtomicU64,
     /// Batch-size distribution.
     pub batch_size: Histogram<7>,
     /// `/recommend` latency distribution, microseconds.
@@ -183,6 +221,22 @@ impl Metrics {
             "st_serve_reloads_failed_total",
             self.reloads_failed.load(Relaxed),
         );
+        counter("st_serve_queue_depth", self.queue_depth.load(Relaxed));
+        counter("st_serve_shed_total", self.shed_total.load(Relaxed));
+        counter("st_serve_expired_total", self.expired_total.load(Relaxed));
+        counter("st_serve_degraded_total", self.degraded_total.load(Relaxed));
+        counter(
+            "st_serve_injected_failures_total",
+            self.injected_failures_total.load(Relaxed),
+        );
+        for (name, q) in [
+            ("st_serve_request_latency_us_p50", 0.50),
+            ("st_serve_request_latency_us_p99", 0.99),
+        ] {
+            if let Some(v) = self.latency_us.quantile(q, &LATENCY_BUCKETS_US) {
+                let _ = writeln!(out, "{name} {v}");
+            }
+        }
         let _ = writeln!(out, "st_serve_cache_hit_rate {}", self.cache_hit_rate());
         let _ = writeln!(out, "st_serve_model_epoch {model_epoch}");
         let _ = writeln!(out, "st_serve_cache_entries {cache_len}");
@@ -216,6 +270,79 @@ mod tests {
     }
 
     #[test]
+    fn boundary_values_land_in_their_bucket() {
+        // A value exactly equal to a bound belongs to that bucket
+        // (bounds are inclusive upper limits), and one past it does not.
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            let h: Histogram<10> = Histogram::default();
+            h.observe(bound, &LATENCY_BUCKETS_US);
+            assert_eq!(
+                h.buckets[i].load(Relaxed),
+                1,
+                "value {bound} missed bucket {i}"
+            );
+            let h: Histogram<10> = Histogram::default();
+            h.observe(bound + 1, &LATENCY_BUCKETS_US);
+            assert_eq!(
+                h.buckets[i].load(Relaxed),
+                0,
+                "value {} leaked into bucket {i}",
+                bound + 1
+            );
+        }
+        // Zero lands in every bucket (cumulative) including the first.
+        let h: Histogram<10> = Histogram::default();
+        h.observe(0, &LATENCY_BUCKETS_US);
+        for (i, b) in h.buckets.iter().enumerate() {
+            assert_eq!(b.load(Relaxed), 1, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distributions() {
+        let h: Histogram<10> = Histogram::default();
+        assert_eq!(h.quantile(0.5, &LATENCY_BUCKETS_US), None, "empty");
+
+        // 100 observations of exactly 100us: every quantile is the 100us
+        // bucket bound.
+        for _ in 0..100 {
+            h.observe(100, &LATENCY_BUCKETS_US);
+        }
+        assert_eq!(h.quantile(0.0, &LATENCY_BUCKETS_US), Some(100));
+        assert_eq!(h.quantile(0.5, &LATENCY_BUCKETS_US), Some(100));
+        assert_eq!(h.quantile(0.99, &LATENCY_BUCKETS_US), Some(100));
+
+        // 90 fast + 10 slow: p50 stays fast, p99 reports the slow bucket.
+        let h: Histogram<10> = Histogram::default();
+        for _ in 0..90 {
+            h.observe(40, &LATENCY_BUCKETS_US); // <= 50us bucket
+        }
+        for _ in 0..10 {
+            h.observe(9_000, &LATENCY_BUCKETS_US); // <= 10ms bucket
+        }
+        assert_eq!(h.quantile(0.50, &LATENCY_BUCKETS_US), Some(50));
+        assert_eq!(h.quantile(0.90, &LATENCY_BUCKETS_US), Some(50));
+        assert_eq!(h.quantile(0.99, &LATENCY_BUCKETS_US), Some(10_000));
+
+        // Observations above every bound saturate at the largest bound.
+        let h: Histogram<10> = Histogram::default();
+        h.observe(u64::MAX, &LATENCY_BUCKETS_US);
+        assert_eq!(h.quantile(0.5, &LATENCY_BUCKETS_US), Some(250_000));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h: Histogram<7> = Histogram::default();
+        h.observe(u64::MAX, &BATCH_BUCKETS);
+        h.observe(u64::MAX, &BATCH_BUCKETS);
+        h.observe(7, &BATCH_BUCKETS);
+        // Count keeps exact track; the sum pins at the ceiling rather
+        // than wrapping to a small number.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
     fn render_exposes_all_families() {
         let m = Metrics::new();
         m.recommend_requests.fetch_add(2, Relaxed);
@@ -224,6 +351,11 @@ mod tests {
         m.record_status(500);
         m.cache_hits.fetch_add(1, Relaxed);
         m.cache_misses.fetch_add(3, Relaxed);
+        m.shed_total.fetch_add(5, Relaxed);
+        m.expired_total.fetch_add(2, Relaxed);
+        m.degraded_total.fetch_add(1, Relaxed);
+        m.queue_depth.store(9, Relaxed);
+        m.latency_us.observe(120, &LATENCY_BUCKETS_US);
         let text = m.render(7, 42);
         assert!(text.contains("st_serve_requests_total{route=\"recommend\"} 2"));
         assert!(text.contains("st_serve_responses_total{class=\"2xx\"} 1"));
@@ -232,6 +364,13 @@ mod tests {
         assert!(text.contains("st_serve_cache_hit_rate 0.25"));
         assert!(text.contains("st_serve_model_epoch 7"));
         assert!(text.contains("st_serve_cache_entries 42"));
-        assert!(text.contains("st_serve_request_latency_us_count 0"));
+        assert!(text.contains("st_serve_shed_total 5"));
+        assert!(text.contains("st_serve_expired_total 2"));
+        assert!(text.contains("st_serve_degraded_total 1"));
+        assert!(text.contains("st_serve_injected_failures_total 0"));
+        assert!(text.contains("st_serve_queue_depth 9"));
+        assert!(text.contains("st_serve_request_latency_us_p50 250"));
+        assert!(text.contains("st_serve_request_latency_us_p99 250"));
+        assert!(text.contains("st_serve_request_latency_us_count 1"));
     }
 }

@@ -11,11 +11,21 @@
 //!
 //! A fixed pool of worker threads pulls accepted connections off a
 //! channel and speaks keep-alive HTTP/1.1; malformed requests get `400`
-//! and the connection is closed. Responses carry `X-Cache: HIT|MISS` and
-//! `X-Model-Epoch` headers so clients (and the load generator) can see
-//! cache and reload behaviour without parsing bodies.
+//! and the connection is closed. Responses carry `X-Cache: HIT|MISS`
+//! (or `STALE` for degraded answers) and `X-Model-Epoch` headers so
+//! clients (and the load generator) can see cache and reload behaviour
+//! without parsing bodies.
+//!
+//! Overload handling layers admission → deadline → degradation: a full
+//! batcher queue sheds with `429` + `Retry-After`; jobs that age out in
+//! the queue get `503 deadline-exceeded`; and above
+//! [`ServeConfig::degrade_watermark`] queued jobs, requests whose
+//! `(user, city, k)` exists in the epoch-agnostic stale cache are
+//! answered from it immediately — marked `"degraded": true` — instead of
+//! joining the queue.
 
-use crate::batcher::{BatchConfig, BatchRequest, MicroBatcher};
+use crate::batcher::{BatchConfig, BatchRequest, MicroBatcher, SubmitError};
+use crate::fault::FaultInjector;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::lru::LruCache;
 use crate::metrics::{Metrics, LATENCY_BUCKETS_US};
@@ -58,6 +68,11 @@ pub struct ServeConfig {
     pub default_k: usize,
     /// Largest accepted `k`.
     pub max_k: usize,
+    /// Queue depth at which requests degrade to stale cached results
+    /// instead of queueing (0 disables degradation).
+    pub degrade_watermark: usize,
+    /// Fault-injection hooks for chaos testing; `None` in production.
+    pub fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServeConfig {
@@ -71,9 +86,16 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(5),
             default_k: 10,
             max_k: 1000,
+            degrade_watermark: 0,
+            fault: None,
         }
     }
 }
+
+/// Key of the epoch-agnostic stale cache backing degraded serving: any
+/// generation's answer to the same question is better than queueing
+/// behind an overloaded batcher.
+type StaleKey = (UserId, CityId, usize);
 
 /// Everything the request handlers share.
 pub struct Engine {
@@ -81,10 +103,15 @@ pub struct Engine {
     cell: Arc<ModelCell>,
     reloader: Option<Reloader>,
     cache: Mutex<LruCache<CacheKey, Arc<str>>>,
+    /// Last known answer per `(user, city, k)` regardless of epoch,
+    /// tagged with the epoch that produced it; only consulted above the
+    /// degradation watermark.
+    stale: Mutex<LruCache<StaleKey, (u64, Arc<str>)>>,
     metrics: Arc<Metrics>,
     batcher: MicroBatcher,
     default_k: usize,
     max_k: usize,
+    degrade_watermark: usize,
 }
 
 impl Engine {
@@ -98,16 +125,23 @@ impl Engine {
     ) -> Arc<Self> {
         let cell = Arc::new(ModelCell::new(model));
         let metrics = Arc::new(Metrics::new());
-        let batcher = MicroBatcher::start(cell.clone(), metrics.clone(), config.batch);
+        let batcher = MicroBatcher::start_with_faults(
+            cell.clone(),
+            metrics.clone(),
+            config.batch,
+            config.fault.clone(),
+        );
         Arc::new(Self {
             dataset,
             cell,
             reloader,
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            stale: Mutex::new(LruCache::new(config.cache_capacity)),
             metrics,
             batcher,
             default_k: config.default_k,
             max_k: config.max_k,
+            degrade_watermark: config.degrade_watermark,
         })
     }
 
@@ -243,14 +277,52 @@ impl Engine {
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
+        // Degradation: above the watermark, a possibly-stale cached
+        // answer beats queueing behind an overloaded batcher. Fresh-epoch
+        // hits never reach here (caught above), so anything served from
+        // the stale cache is explicitly marked degraded.
+        if self.degrade_watermark > 0 && self.batcher.queue_depth() >= self.degrade_watermark {
+            let stale = self
+                .stale
+                .lock()
+                .expect("stale cache poisoned")
+                .get(&(user, city, k))
+                .cloned();
+            if let Some((epoch, body)) = stale {
+                self.metrics.degraded_total.fetch_add(1, Ordering::Relaxed);
+                // Splice the marker into the cached body: `{"degraded":
+                // true,` + the body minus its opening brace.
+                let mut degraded = String::with_capacity(body.len() + 18);
+                degraded.push_str("{\"degraded\":true,");
+                degraded.push_str(&body[1..]);
+                return Response::json(200, degraded.into_bytes())
+                    .with_header("X-Cache", "STALE")
+                    .with_header("X-Degraded", "true")
+                    .with_header("X-Model-Epoch", &epoch.to_string());
+            }
+        }
+
         // Miss: score through the micro-batcher.
         let candidates = Arc::new(self.dataset.pois_in_city(city).to_vec());
-        let Some(reply) = self.batcher.submit(BatchRequest {
+        let reply = match self.batcher.submit(BatchRequest {
             user,
             candidates,
             k,
-        }) else {
-            return Response::error(503, "server shutting down");
+        }) {
+            Ok(reply) => reply,
+            Err(SubmitError::QueueFull) => {
+                return Response::error(429, "queue full, retry later")
+                    .with_header("Retry-After", "1");
+            }
+            Err(SubmitError::DeadlineExceeded) => {
+                return Response::error(503, "deadline-exceeded");
+            }
+            Err(SubmitError::ShuttingDown) => {
+                return Response::error(503, "server shutting down");
+            }
+            Err(SubmitError::ScorerFailed) => {
+                return Response::error(500, "scorer failed");
+            }
         };
         let body: Arc<str> = render_recommend_body(user, city, k, reply.epoch, &reply.recs).into();
         self.cache.lock().expect("cache poisoned").insert(
@@ -265,6 +337,10 @@ impl Engine {
             },
             body.clone(),
         );
+        self.stale
+            .lock()
+            .expect("stale cache poisoned")
+            .insert((user, city, k), (reply.epoch, body.clone()));
         Response::json(200, body.as_bytes().to_vec())
             .with_header("X-Cache", "MISS")
             .with_header("X-Model-Epoch", &reply.epoch.to_string())
