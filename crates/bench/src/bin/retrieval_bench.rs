@@ -1,0 +1,87 @@
+//! Catalog-scaling retrieval benchmark binary (PR 6).
+//!
+//! Runs the two-stage-retrieval-vs-exact-scan suite in
+//! [`st_bench::retrieval_perf`] and writes the report to
+//! `BENCH_PR6.json` at the repo root (override the path with
+//! `ST_BENCH_OUT`, the catalog scales with a comma-separated
+//! `ST_BENCH_SCALES`, and the training epochs with `ST_BENCH_EPOCHS`).
+//!
+//! `--smoke` runs the tiny CI variant: one 10x catalog, gated on
+//! recall@10 >= 0.95 and a loose speedup floor. The full run sweeps
+//! 1x/10x/32x/100x catalogs and demands >= 5x speedup with
+//! recall@10 >= 0.95 at the 32x gate scale.
+//!
+//! Build with `--release`: a debug build measures nothing meaningful.
+
+use st_bench::retrieval_perf::{run_retrieval_suite, RetrievalPerfOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        RetrievalPerfOptions::smoke()
+    } else {
+        RetrievalPerfOptions::full()
+    };
+    if let Ok(scales) = std::env::var("ST_BENCH_SCALES") {
+        let parsed: Vec<usize> = scales
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&s| s >= 1)
+            .collect();
+        if !parsed.is_empty() {
+            opts.scales = parsed;
+        }
+    }
+    if let Some(epochs) = std::env::var("ST_BENCH_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        opts.train_epochs = epochs;
+    }
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json"))
+        });
+
+    eprintln!(
+        "running retrieval perf suite ({} mode, scales {:?}, {} queries/scale)...",
+        if smoke { "smoke" } else { "full" },
+        opts.scales,
+        opts.query_users
+    );
+    let report = run_retrieval_suite(&opts);
+
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: at {}x catalog speedup {:.2}x, recall@{} {:.3}; {:.0}x catalog growth cost \
+         {:.2}x retrieved latency",
+        a.gate_scale,
+        a.gate_speedup,
+        report.k,
+        a.gate_recall,
+        a.catalog_growth,
+        a.retrieved_latency_growth
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write retrieval perf report");
+    eprintln!("wrote {}", out_path.display());
+
+    let failed = if smoke {
+        // CI gate: recall must hold exactly; speed only loosely (shared
+        // runners, small catalog, index probing overhead).
+        a.gate_recall < 0.95 || a.gate_speedup < 1.2
+    } else {
+        a.gate_recall < 0.95
+            || a.gate_speedup < 5.0
+            // Sub-linearity: retrieved latency must grow far slower than
+            // the catalog across the benched range.
+            || a.retrieved_latency_growth > a.catalog_growth / 2.0
+    };
+    if failed {
+        eprintln!("WARNING: acceptance gates not met");
+        std::process::exit(1);
+    }
+}

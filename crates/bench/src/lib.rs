@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod infer_perf;
 pub mod json;
 pub mod perf;
+pub mod retrieval_perf;
 pub mod runner;
 pub mod serve_load;
 pub mod table;

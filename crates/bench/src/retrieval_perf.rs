@@ -1,0 +1,354 @@
+//! Catalog-scaling retrieval benchmark (PR 6): two-stage geo-grid + IVF
+//! candidate generation versus the exact sharded scan, written to
+//! `BENCH_PR6.json`.
+//!
+//! The exact path scores every POI of the target city per query, so its
+//! latency grows linearly with the catalog. The retrieved path re-ranks
+//! at most `max_candidates` candidates no matter how large the catalog
+//! gets — the suite synthesizes 1x/10x/32x/100x catalogs from one base
+//! config and measures both paths at each scale, plus recall@k of the
+//! retrieved top-k against the exact ranking (the correctness budget the
+//! speedup is bought with).
+//!
+//! Run with `--release`; the full suite builds catalogs into the
+//! hundreds of thousands of POIs.
+
+use crate::json::{Json, ToJson};
+use crate::json_object_impl;
+use st_data::{CityId, CrossingCitySplit, UserId};
+use st_transrec_core::{
+    recommend_top_k, recommend_top_k_retrieved, retrieval_recall_at_k, ModelConfig,
+    RetrievalConfig, RetrievalIndex, RetrievalOutcome, STTransRec,
+};
+use std::time::Instant;
+
+/// Suite options: the full run (scales up to 100x, strict gates) or the
+/// CI smoke (one 10x scale, loose speedup floor).
+#[derive(Debug, Clone)]
+pub struct RetrievalPerfOptions {
+    /// Small scales + loose gates, for the CI retrieval smoke.
+    pub smoke: bool,
+    /// Catalog multipliers to bench (1 = `base_pois`).
+    pub scales: Vec<usize>,
+    /// Total POIs at scale 1 (the target-city catalog is about half).
+    pub base_pois: usize,
+    /// Timed queries per scale (distinct users).
+    pub query_users: usize,
+    /// Ranking depth for both timing and recall.
+    pub k: usize,
+    /// Training epochs before snapshotting. The IVF stage indexes the
+    /// model's own embedding space, so it needs *some* structure in the
+    /// embeddings to be representative — an untrained random table is an
+    /// adversarial (and unrealistic) worst case for recall.
+    pub train_epochs: usize,
+}
+
+impl RetrievalPerfOptions {
+    /// The full configuration used to produce `BENCH_PR6.json`.
+    pub fn full() -> Self {
+        Self {
+            smoke: false,
+            scales: vec![1, 10, 32, 100],
+            base_pois: 5_000,
+            query_users: 32,
+            k: 10,
+            train_epochs: 1,
+        }
+    }
+
+    /// The CI smoke configuration: one 10x catalog (~10k target POIs —
+    /// far enough above the default candidate budget that the retrieved
+    /// path has a real advantage to demonstrate).
+    pub fn smoke() -> Self {
+        Self {
+            smoke: true,
+            scales: vec![10],
+            base_pois: 2_000,
+            query_users: 16,
+            k: 10,
+            train_epochs: 1,
+        }
+    }
+}
+
+/// One catalog scale's measurements.
+#[derive(Debug, Clone)]
+pub struct ScaleBench {
+    /// Catalog multiplier relative to `base_pois`.
+    pub scale: usize,
+    /// Target-city catalog size actually generated.
+    pub catalog: usize,
+    /// Wall-clock to build the snapshot's retrieval index, milliseconds.
+    pub index_build_ms: f64,
+    /// Mean exact-scan latency per query, microseconds.
+    pub exact_us_per_query: f64,
+    /// Mean retrieved-path latency per query, microseconds.
+    pub retrieved_us_per_query: f64,
+    /// `exact_us_per_query / retrieved_us_per_query`.
+    pub speedup: f64,
+    /// Mean re-ranked candidate-set size (equals `catalog` on fallback).
+    pub mean_candidates: f64,
+    /// Catalog-over-candidates ratio: scored pairs saved per query.
+    pub pairs_ratio: f64,
+    /// Queries that fell back to the exact scan (index absent/disabled).
+    pub fallbacks: usize,
+    /// recall@k of the retrieved ranking against the exact ranking.
+    pub recall_at_k: f64,
+}
+
+json_object_impl!(ScaleBench {
+    scale,
+    catalog,
+    index_build_ms,
+    exact_us_per_query,
+    retrieved_us_per_query,
+    speedup,
+    mean_candidates,
+    pairs_ratio,
+    fallbacks,
+    recall_at_k,
+});
+
+/// The acceptance gates this PR's benchmark must clear.
+#[derive(Debug, Clone)]
+pub struct RetrievalAcceptance {
+    /// The scale the speedup/recall gates are read at (32x full, 10x
+    /// smoke — the largest benched scale at or below it).
+    pub gate_scale: usize,
+    /// Wall-clock speedup at the gate scale.
+    pub gate_speedup: f64,
+    /// recall@k at the gate scale.
+    pub gate_recall: f64,
+    /// Retrieved latency grows sub-linearly: growing the catalog by
+    /// `catalog_growth`x from the smallest to the largest benched scale
+    /// grew retrieved latency by only `retrieved_latency_growth`x.
+    pub catalog_growth: f64,
+    /// Retrieved-path latency growth over the same range.
+    pub retrieved_latency_growth: f64,
+}
+
+json_object_impl!(RetrievalAcceptance {
+    gate_scale,
+    gate_speedup,
+    gate_recall,
+    catalog_growth,
+    retrieved_latency_growth,
+});
+
+/// The full retrieval-perf report written to `BENCH_PR6.json`.
+#[derive(Debug, Clone)]
+pub struct RetrievalPerfReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Which PR produced the report.
+    pub pr: String,
+    /// Hardware threads on the benching host (the exact scan shards
+    /// across them; the retrieved path is single-threaded).
+    pub host_threads: usize,
+    /// Whether this is the CI smoke run.
+    pub smoke: bool,
+    /// Retrieval knobs the suite ran with (shipped defaults).
+    pub max_candidates: usize,
+    /// IVF lists probed per query.
+    pub nprobe: usize,
+    /// Geo-grid ring radius.
+    pub grid_rings: usize,
+    /// Ranking depth for timing and recall.
+    pub k: usize,
+    /// Per-scale measurements.
+    pub scales: Vec<ScaleBench>,
+    /// Acceptance summary.
+    pub acceptance: RetrievalAcceptance,
+}
+
+json_object_impl!(RetrievalPerfReport {
+    schema,
+    pr,
+    host_threads,
+    smoke,
+    max_candidates,
+    nprobe,
+    grid_rings,
+    k,
+    scales,
+    acceptance,
+});
+
+impl RetrievalPerfReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        Json::to_string(&self.to_json())
+    }
+}
+
+/// The scaled synthetic dataset: `tiny()`'s two-city world with the POI
+/// catalog (and proportional check-in volume) multiplied out.
+fn scaled_synth(base_pois: usize, scale: usize) -> st_data::synth::SynthConfig {
+    let mut cfg = st_data::synth::SynthConfig::tiny();
+    cfg.pois = base_pois * scale;
+    cfg.users = 256;
+    cfg.crossing_users = 128;
+    cfg.checkins = cfg.pois * 4;
+    cfg
+}
+
+fn bench_scale(opts: &RetrievalPerfOptions, scale: usize, cfg: &RetrievalConfig) -> ScaleBench {
+    let synth = scaled_synth(opts.base_pois, scale);
+    let (dataset, _) = st_data::synth::generate(&synth);
+    let city = CityId(synth.target_city as u16);
+    let split = CrossingCitySplit::build(&dataset, city);
+    let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+    for _ in 0..opts.train_epochs {
+        model.train_epoch(&dataset);
+    }
+    let frozen = model.snapshot();
+    let catalog = dataset.pois_in_city(city).len();
+
+    let build_start = Instant::now();
+    let index = RetrievalIndex::build(&frozen, &dataset, cfg.clone());
+    let index_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let users: Vec<UserId> = (0..opts.query_users.min(dataset.num_users()))
+        .map(|u| UserId(u as u32))
+        .collect();
+
+    // Warm both paths (first-touch page faults, scratch growth).
+    let _ = recommend_top_k(&frozen, &dataset, users[0], city, opts.k, &[]);
+    let _ = recommend_top_k_retrieved(&frozen, &index, &dataset, users[0], city, opts.k, &[]);
+
+    let mut sink = 0usize;
+    let start = Instant::now();
+    for &user in &users {
+        sink += recommend_top_k(&frozen, &dataset, user, city, opts.k, &[]).len();
+    }
+    let exact_us_per_query = start.elapsed().as_secs_f64() * 1e6 / users.len() as f64;
+
+    let mut outcomes = Vec::with_capacity(users.len());
+    let start = Instant::now();
+    for &user in &users {
+        let (recs, outcome) =
+            recommend_top_k_retrieved(&frozen, &index, &dataset, user, city, opts.k, &[]);
+        sink += recs.len();
+        outcomes.push(outcome);
+    }
+    let retrieved_us_per_query = start.elapsed().as_secs_f64() * 1e6 / users.len() as f64;
+    assert!(std::hint::black_box(sink) > 0, "every query returned empty");
+
+    let mut fallbacks = 0usize;
+    let mut candidate_sum = 0usize;
+    for o in &outcomes {
+        match o {
+            RetrievalOutcome::Retrieved { candidates, .. } => candidate_sum += candidates,
+            RetrievalOutcome::Fallback => {
+                fallbacks += 1;
+                candidate_sum += catalog;
+            }
+        }
+    }
+    let mean_candidates = candidate_sum as f64 / outcomes.len().max(1) as f64;
+
+    let recall_at_k = retrieval_recall_at_k(&frozen, &index, &dataset, &users, city, opts.k);
+
+    ScaleBench {
+        scale,
+        catalog,
+        index_build_ms,
+        exact_us_per_query,
+        retrieved_us_per_query,
+        speedup: exact_us_per_query / retrieved_us_per_query.max(1e-9),
+        mean_candidates,
+        pairs_ratio: catalog as f64 / mean_candidates.max(1.0),
+        fallbacks,
+        recall_at_k,
+    }
+}
+
+/// Runs the whole catalog-scaling retrieval suite at the shipped
+/// [`RetrievalConfig`] defaults.
+pub fn run_retrieval_suite(opts: &RetrievalPerfOptions) -> RetrievalPerfReport {
+    let cfg = RetrievalConfig::default();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut scales = Vec::new();
+    for &scale in &opts.scales {
+        let bench = bench_scale(opts, scale, &cfg);
+        eprintln!(
+            "  scale {:>4}x: catalog {:>7}  exact {:>10.1} us/q  retrieved {:>9.1} us/q  \
+             speedup {:>5.2}x  candidates {:>7.0}  recall@{} {:.3}  (index build {:.0} ms)",
+            bench.scale,
+            bench.catalog,
+            bench.exact_us_per_query,
+            bench.retrieved_us_per_query,
+            bench.speedup,
+            bench.mean_candidates,
+            opts.k,
+            bench.recall_at_k,
+            bench.index_build_ms,
+        );
+        scales.push(bench);
+    }
+
+    // The gate scale: 32x in the full run, the largest benched otherwise.
+    let gate_target = if opts.smoke { 10 } else { 32 };
+    let gate = scales
+        .iter()
+        .filter(|s| s.scale <= gate_target)
+        .max_by_key(|s| s.scale)
+        .or_else(|| scales.first())
+        .expect("at least one scale benched");
+    let first = scales.first().expect("at least one scale benched");
+    let last = scales.last().expect("at least one scale benched");
+
+    let acceptance = RetrievalAcceptance {
+        gate_scale: gate.scale,
+        gate_speedup: gate.speedup,
+        gate_recall: gate.recall_at_k,
+        catalog_growth: last.catalog as f64 / first.catalog.max(1) as f64,
+        retrieved_latency_growth: last.retrieved_us_per_query
+            / first.retrieved_us_per_query.max(1e-9),
+    };
+
+    RetrievalPerfReport {
+        schema: "st-transrec-retrieval-perf/v1".to_string(),
+        pr: "PR6".to_string(),
+        host_threads,
+        smoke: opts.smoke,
+        max_candidates: cfg.max_candidates,
+        nprobe: cfg.nprobe,
+        grid_rings: cfg.grid_rings,
+        k: opts.k,
+        scales,
+        acceptance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_reports_every_scale() {
+        let opts = RetrievalPerfOptions {
+            smoke: true,
+            scales: vec![8],
+            base_pois: 600,
+            query_users: 6,
+            k: 5,
+            train_epochs: 0,
+        };
+        let report = run_retrieval_suite(&opts);
+        assert_eq!(report.scales.len(), 1);
+        let s = &report.scales[0];
+        assert_eq!(s.scale, 8);
+        assert!(s.catalog >= 2_048, "catalog {}", s.catalog);
+        assert_eq!(s.fallbacks, 0, "a 2.4k-POI catalog must be indexed");
+        assert!(s.recall_at_k >= 0.95, "recall {}", s.recall_at_k);
+        // The catalog is below the default budget here, so the candidate
+        // set may cover it entirely — but never exceed it.
+        assert!(s.mean_candidates <= s.catalog as f64);
+        let text = report.to_json_string();
+        assert!(text.contains("\"schema\": \"st-transrec-retrieval-perf/v1\""));
+    }
+}

@@ -35,6 +35,7 @@ mod mmd;
 mod model;
 mod recommend;
 mod resample;
+mod retrieval;
 mod skipgram;
 mod snapshot;
 mod trainer;
@@ -48,8 +49,12 @@ pub use recommend::{
     Recommendation,
 };
 pub use resample::{CityResampler, MultiCityResampler};
+pub use retrieval::{
+    recommend_top_k_retrieved, retrieval_recall_at_k, Candidates, RetrievalConfig, RetrievalIndex,
+    RetrievalOutcome,
+};
 pub use skipgram::skipgram_loss;
-pub use snapshot::ModelSnapshot;
+pub use snapshot::{ModelSnapshot, PredictError};
 pub use trainer::{ParallelTrainer, TimedEpoch};
 
 // Re-exported so downstream consumers (st-serve's batcher) can hold the

@@ -15,6 +15,64 @@ use st_data::{PoiId, UserId};
 use st_eval::Scorer;
 use st_tensor::{Activation, InferCtx, Matrix};
 
+/// Why a pair-scoring request was rejected before any compute ran.
+///
+/// Produced by the `try_*` scoring entry points, which validate request
+/// shape up front so malformed input surfaces as a typed error at the
+/// serving boundary (an HTTP 400) instead of a worker panic deep inside
+/// the gather kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The user and POI slices differ in length.
+    LengthMismatch {
+        /// Number of user indices supplied.
+        users: usize,
+        /// Number of POI indices supplied.
+        pois: usize,
+    },
+    /// A user index exceeds the snapshot's user table.
+    UserOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of users the snapshot can score.
+        limit: usize,
+    },
+    /// A POI index exceeds the snapshot's POI table.
+    PoiOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of POIs the snapshot can score.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LengthMismatch { users, pois } => {
+                write!(
+                    f,
+                    "pair slices must be parallel: {users} users vs {pois} pois"
+                )
+            }
+            Self::UserOutOfRange { index, limit } => {
+                write!(
+                    f,
+                    "user index {index} out of range (snapshot has {limit} users)"
+                )
+            }
+            Self::PoiOutOfRange { index, limit } => {
+                write!(
+                    f,
+                    "poi index {index} out of range (snapshot has {limit} pois)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
 /// Frozen embeddings + tower weights exposing tape-free `predict` /
 /// `score_pairs`.
 ///
@@ -59,22 +117,14 @@ impl ModelSnapshot {
         self.poi_table.rows()
     }
 
-    /// Predicted interaction probabilities for `(user, poi)` pairs given
-    /// as parallel index slices — Eq. 12 over the frozen parameters.
-    ///
-    /// # Panics
-    /// Panics if the slices differ in length or any index is out of range.
-    pub fn predict(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
-        let mut ctx = InferCtx::new();
-        self.predict_with(&mut ctx, users, pois)
+    /// The frozen city-independent POI embedding table (one row per
+    /// POI) — the vectors the IVF coarse index quantizes.
+    pub fn poi_table(&self) -> &Matrix {
+        &self.poi_table
     }
 
-    /// As [`ModelSnapshot::predict`], reusing the caller's scratch
-    /// buffers — the zero-allocation steady-state path long-lived
-    /// consumers (the serve batcher) score through.
-    pub fn predict_with(&self, ctx: &mut InferCtx, users: &[usize], pois: &[usize]) -> Vec<f32> {
-        assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
-        ctx.gather_concat2(&self.user_table, users, &self.poi_table, pois);
+    /// Runs the tower + sigmoid over whatever `ctx` currently holds.
+    fn run_tower(&self, ctx: &mut InferCtx) -> Vec<f32> {
         let last = self.layers.len() - 1;
         for (i, (w, b)) in self.layers.iter().enumerate() {
             ctx.linear(w, b);
@@ -84,6 +134,64 @@ impl ModelSnapshot {
         }
         ctx.sigmoid();
         ctx.value().as_slice().to_vec()
+    }
+
+    /// The unchecked forward pass; callers have already validated shape
+    /// (or accepted the underlying kernels' panics).
+    fn forward(&self, ctx: &mut InferCtx, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        ctx.gather_concat2(&self.user_table, users, &self.poi_table, pois);
+        self.run_tower(ctx)
+    }
+
+    /// Predicted interaction probabilities for `(user, poi)` pairs given
+    /// as parallel index slices — Eq. 12 over the frozen parameters.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or any index is out of
+    /// range. Request paths that must not panic on malformed input go
+    /// through [`ModelSnapshot::try_predict_with`] instead.
+    pub fn predict(&self, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        let mut ctx = InferCtx::new();
+        self.predict_with(&mut ctx, users, pois)
+    }
+
+    /// As [`ModelSnapshot::predict`], reusing the caller's scratch
+    /// buffers — the zero-allocation steady-state path long-lived
+    /// consumers (the serve batcher) score through.
+    pub fn predict_with(&self, ctx: &mut InferCtx, users: &[usize], pois: &[usize]) -> Vec<f32> {
+        debug_assert_eq!(users.len(), pois.len(), "pair slices must be parallel");
+        self.forward(ctx, users, pois)
+    }
+
+    /// Validating variant of [`ModelSnapshot::predict_with`]: malformed
+    /// input (mismatched slice lengths, out-of-range indices) returns a
+    /// [`PredictError`] before any compute runs, instead of panicking a
+    /// worker thread.
+    pub fn try_predict_with(
+        &self,
+        ctx: &mut InferCtx,
+        users: &[usize],
+        pois: &[usize],
+    ) -> Result<Vec<f32>, PredictError> {
+        if users.len() != pois.len() {
+            return Err(PredictError::LengthMismatch {
+                users: users.len(),
+                pois: pois.len(),
+            });
+        }
+        if let Some(&index) = users.iter().find(|&&i| i >= self.num_users()) {
+            return Err(PredictError::UserOutOfRange {
+                index,
+                limit: self.num_users(),
+            });
+        }
+        if let Some(&index) = pois.iter().find(|&&i| i >= self.num_pois()) {
+            return Err(PredictError::PoiOutOfRange {
+                index,
+                limit: self.num_pois(),
+            });
+        }
+        Ok(self.forward(ctx, users, pois))
     }
 
     /// Typed-id variant of [`ModelSnapshot::predict`].
@@ -103,6 +211,38 @@ impl ModelSnapshot {
         let u: Vec<usize> = users.iter().map(|u| u.idx()).collect();
         let p: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
         self.predict_with(ctx, &u, &p)
+    }
+
+    /// Validating typed-id variant of
+    /// [`ModelSnapshot::score_pairs_with`] — the serve boundary's entry
+    /// point, mapping malformed requests to [`PredictError`] instead of
+    /// a panic.
+    pub fn try_score_pairs_with(
+        &self,
+        ctx: &mut InferCtx,
+        users: &[UserId],
+        pois: &[PoiId],
+    ) -> Result<Vec<f32>, PredictError> {
+        let u: Vec<usize> = users.iter().map(|u| u.idx()).collect();
+        let p: Vec<usize> = pois.iter().map(|p| p.idx()).collect();
+        self.try_predict_with(ctx, &u, &p)
+    }
+
+    /// Scores user row `user_row` against every row of `items`, an
+    /// arbitrary matrix in POI-embedding space (IVF centroids, say),
+    /// through the same tower as real POIs. This is how probe selection
+    /// ranks coarse-index lists with the *re-ranker's own* scoring
+    /// function rather than a separate metric.
+    ///
+    /// # Panics
+    /// Panics if `user_row` is out of range or `items` has the wrong
+    /// width.
+    pub fn score_rows_with(&self, ctx: &mut InferCtx, user_row: usize, items: &Matrix) -> Vec<f32> {
+        let n = items.rows();
+        let ui = vec![user_row; n];
+        let ii: Vec<usize> = (0..n).collect();
+        ctx.gather_concat2(&self.user_table, &ui, items, &ii);
+        self.run_tower(ctx)
     }
 }
 
@@ -192,6 +332,73 @@ mod tests {
             evaluate(&snap, &d, &split, &cfg),
             evaluate(&m, &d, &split, &cfg)
         );
+    }
+
+    #[test]
+    fn try_variants_reject_malformed_input_and_match_the_panicking_path() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let snap = m.snapshot();
+        let mut ctx = InferCtx::new();
+        // Well-formed input: identical to the panicking path.
+        let users = vec![0usize, 1, 2];
+        let pois = vec![3usize, 4, 5];
+        assert_eq!(
+            snap.try_predict_with(&mut ctx, &users, &pois).unwrap(),
+            snap.predict(&users, &pois)
+        );
+        // Mismatched lengths.
+        assert_eq!(
+            snap.try_predict_with(&mut ctx, &users, &pois[..2]),
+            Err(PredictError::LengthMismatch { users: 3, pois: 2 })
+        );
+        // Out-of-range indices.
+        let nu = snap.num_users();
+        let np = snap.num_pois();
+        assert_eq!(
+            snap.try_predict_with(&mut ctx, &[nu], &[0]),
+            Err(PredictError::UserOutOfRange {
+                index: nu,
+                limit: nu
+            })
+        );
+        assert_eq!(
+            snap.try_predict_with(&mut ctx, &[0], &[np]),
+            Err(PredictError::PoiOutOfRange {
+                index: np,
+                limit: np
+            })
+        );
+        // Typed-id boundary wrapper agrees.
+        assert_eq!(
+            snap.try_score_pairs_with(&mut ctx, &[UserId(0)], &[PoiId(0), PoiId(1)]),
+            Err(PredictError::LengthMismatch { users: 1, pois: 2 })
+        );
+    }
+
+    #[test]
+    fn score_rows_against_real_poi_rows_matches_predict() {
+        let (d, split) = setup();
+        let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+        m.train_epoch(&d);
+        let snap = m.snapshot();
+        let mut ctx = InferCtx::new();
+        let n = snap.num_pois().min(7);
+        let pois: Vec<usize> = (0..n).collect();
+        let users = vec![2usize; n];
+        // Scoring the full POI table as an "arbitrary matrix" must be
+        // bit-identical to the indexed predict path over the same rows.
+        let via_rows = {
+            let table = snap.poi_table().clone();
+            let sub = st_tensor::Matrix::from_vec(
+                n,
+                table.cols(),
+                pois.iter().flat_map(|&p| table.row(p).to_vec()).collect(),
+            );
+            snap.score_rows_with(&mut ctx, 2, &sub)
+        };
+        assert_eq!(via_rows, snap.predict(&users, &pois));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Differential recall suite: the two-stage retrieval path against the
+//! exact full-catalog scan, across grid sizes and `nprobe` settings.
+//!
+//! The exact path is the oracle — recall@k here is the fraction of the
+//! oracle's top-k the retrieved top-k reproduces. The shipped defaults
+//! must clear recall@10 >= 0.95; the matrix runs document how the knobs
+//! trade recall for candidate-set size.
+
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, Dataset, UserId};
+use st_transrec_core::{
+    recommend_top_k, recommend_top_k_retrieved, retrieval_recall_at_k, ModelConfig, ModelSnapshot,
+    RetrievalConfig, RetrievalIndex, RetrievalOutcome, STTransRec,
+};
+
+fn setup(pois: usize, checkins: usize, train: bool) -> (Dataset, CrossingCitySplit, ModelSnapshot) {
+    let mut cfg = SynthConfig::tiny();
+    cfg.pois = pois;
+    cfg.users = 120;
+    cfg.checkins = checkins;
+    cfg.crossing_users = 60;
+    let (d, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&d, CityId(cfg.target_city as u16));
+    let mut m = STTransRec::new(&d, &split, ModelConfig::test_small());
+    if train {
+        m.train_epoch(&d);
+    }
+    let snap = m.snapshot();
+    (d, split, snap)
+}
+
+fn test_users(split: &CrossingCitySplit, n: usize) -> Vec<UserId> {
+    split.test_users.iter().copied().take(n).collect()
+}
+
+#[test]
+fn recall_matrix_across_grid_sizes_and_nprobe() {
+    let (d, split, snap) = setup(2400, 8000, true);
+    let city = split.target_city;
+    let users = test_users(&split, 8);
+    let catalog = d.pois_in_city(city).len();
+    // A budget well under the catalog, so the knobs actually matter.
+    let budget = catalog / 4;
+    let mut best = 0.0f64;
+    for target_cell_pois in [16, 64, 256] {
+        for nprobe in [1, 4, 16] {
+            let cfg = RetrievalConfig {
+                min_catalog: 1,
+                max_candidates: budget,
+                nprobe,
+                target_cell_pois,
+                ..RetrievalConfig::default()
+            };
+            let index = RetrievalIndex::build(&snap, &d, cfg);
+            assert!(index.covers(city));
+            let recall = retrieval_recall_at_k(&snap, &index, &d, &users, city, 10);
+            eprintln!(
+                "cells~{target_cell_pois:>3} pois, nprobe {nprobe:>2}: recall@10 = {recall:.3} \
+                 (budget {budget}/{catalog})"
+            );
+            assert!((0.0..=1.0).contains(&recall));
+            best = best.max(recall);
+        }
+    }
+    // At least one knob setting under a quarter-catalog budget must be
+    // near-exact; if this fails the probe ordering itself is broken.
+    assert!(best >= 0.9, "best matrix recall only {best:.3}");
+}
+
+#[test]
+fn shipped_defaults_meet_the_recall_gate() {
+    // Catalog above min_catalog so the default config indexes it.
+    let (d, split, snap) = setup(4600, 9000, false);
+    let city = split.target_city;
+    let catalog = d.pois_in_city(city).len();
+    let defaults = RetrievalConfig::default();
+    assert!(
+        catalog >= defaults.min_catalog,
+        "setup must clear the indexing threshold ({catalog} < {})",
+        defaults.min_catalog
+    );
+    let index = RetrievalIndex::build(&snap, &d, defaults);
+    assert!(index.covers(city));
+    let users = test_users(&split, 10);
+    let recall = retrieval_recall_at_k(&snap, &index, &d, &users, city, 10);
+    eprintln!("shipped defaults: recall@10 = {recall:.3} over {catalog} POIs");
+    assert!(recall >= 0.95, "shipped-default recall@10 = {recall:.3}");
+    // And the retrieval path genuinely retrieved (no silent fallback).
+    let (_, outcome) = recommend_top_k_retrieved(&snap, &index, &d, users[0], city, 10, &[]);
+    assert!(matches!(outcome, RetrievalOutcome::Retrieved { .. }));
+}
+
+#[test]
+fn sub_budget_retrieval_still_clears_the_gate() {
+    // The serving regime the bench gates on: budget well under the
+    // catalog, shipped nprobe.
+    let (d, split, snap) = setup(4600, 9000, true);
+    let city = split.target_city;
+    let catalog = d.pois_in_city(city).len();
+    let cfg = RetrievalConfig {
+        max_candidates: catalog / 3,
+        ..RetrievalConfig::default()
+    };
+    let index = RetrievalIndex::build(&snap, &d, cfg);
+    let users = test_users(&split, 8);
+    let recall = retrieval_recall_at_k(&snap, &index, &d, &users, city, 10);
+    eprintln!(
+        "sub-budget ({}/{catalog}): recall@10 = {recall:.3}",
+        catalog / 3
+    );
+    assert!(recall >= 0.95, "sub-budget recall@10 = {recall:.3}");
+}
+
+#[test]
+fn exclusions_apply_on_the_retrieved_path() {
+    let (d, split, snap) = setup(2400, 8000, false);
+    let city = split.target_city;
+    let cfg = RetrievalConfig {
+        min_catalog: 1,
+        ..RetrievalConfig::default()
+    };
+    let index = RetrievalIndex::build(&snap, &d, cfg);
+    let user = split.test_users[0];
+    let (baseline, _) = recommend_top_k_retrieved(&snap, &index, &d, user, city, 5, &[]);
+    let exclude = [baseline[0].poi, baseline[1].poi];
+    let (filtered, _) = recommend_top_k_retrieved(&snap, &index, &d, user, city, 5, &exclude);
+    assert!(filtered.iter().all(|r| !exclude.contains(&r.poi)));
+    // The exact path with the same exclusions agrees when the budget
+    // covers the catalog (default 4096 > 1200-ish here).
+    assert_eq!(
+        filtered,
+        recommend_top_k(&snap, &d, user, city, 5, &exclude)
+    );
+}

@@ -16,6 +16,6 @@ mod protocol;
 
 pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
 pub use metrics::{
-    metric_at_k, rank_metrics, Metric, MetricAccumulator, MetricReport, UserMetrics,
+    metric_at_k, overlap_at_k, rank_metrics, Metric, MetricAccumulator, MetricReport, UserMetrics,
 };
 pub use protocol::{evaluate, score_sharded, EvalConfig, Scorer};

@@ -206,6 +206,22 @@ impl std::fmt::Display for MetricReport {
     }
 }
 
+/// Overlap@k between two rankings: the fraction of `reference`'s top-k
+/// items found anywhere in `candidate`'s top-k. This is the recall of a
+/// candidate-generation stage against an exact oracle ranking — 1.0
+/// means the approximate ranking reproduced the exact top-k as a set.
+///
+/// An empty reference top-k is vacuously 1.0 (nothing was missed).
+pub fn overlap_at_k<T: Eq + std::hash::Hash>(candidate: &[T], reference: &[T], k: usize) -> f64 {
+    let want = &reference[..reference.len().min(k)];
+    if want.is_empty() {
+        return 1.0;
+    }
+    let got: std::collections::HashSet<&T> = candidate[..candidate.len().min(k)].iter().collect();
+    let hit = want.iter().filter(|x| got.contains(x)).count();
+    hit as f64 / want.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +232,18 @@ mod tests {
             vec![0.9, 0.5, 0.7, 0.3, 0.1],
             vec![true, false, true, false, false],
         )
+    }
+
+    #[test]
+    fn overlap_at_k_counts_set_intersection_of_prefixes() {
+        let exact = [1, 2, 3, 4, 5];
+        assert_eq!(overlap_at_k(&[3, 1, 2], &exact, 3), 1.0);
+        assert_eq!(overlap_at_k(&[1, 9, 8], &exact, 3), 1.0 / 3.0);
+        assert_eq!(overlap_at_k(&[9, 8, 7], &exact, 3), 0.0);
+        // k beyond both lengths uses full lists.
+        assert_eq!(overlap_at_k(&[5, 4, 3, 2, 1], &exact, 50), 1.0);
+        // Empty reference is vacuous success.
+        assert_eq!(overlap_at_k(&[1, 2], &[] as &[i32], 10), 1.0);
     }
 
     #[test]

@@ -35,8 +35,15 @@ impl BoundingBox {
     /// Smallest box covering all `points`.
     ///
     /// Returns `None` for an empty input. A tiny margin is added so every
-    /// point lies strictly inside (points on the max edge still map to the
-    /// last grid cell).
+    /// point maps to a valid grid cell (points on the max edge still land
+    /// in the last row/column). The margin is clamped to the legal
+    /// coordinate domain: an unclamped margin pushes boxes built from
+    /// points at the poles or the antimeridian past ±90/±180, and any
+    /// [`GeoPoint`] later derived from such a box (e.g.
+    /// [`Grid::cell_center`] of an edge cell over a tiny span) panics its
+    /// coordinate validation. At a domain edge the box edge coincides
+    /// with the extreme point, which [`BoundingBox::contains`] and
+    /// [`Grid::cell_of`] both accept (max edges are inclusive).
     pub fn covering(points: impl IntoIterator<Item = GeoPoint>) -> Option<Self> {
         let mut it = points.into_iter();
         let first = it.next()?;
@@ -49,19 +56,21 @@ impl BoundingBox {
         }
         const MARGIN: f64 = 1e-6;
         Some(Self::new(
-            bb.0 - MARGIN,
-            bb.1 + MARGIN,
-            bb.2 - MARGIN,
-            bb.3 + MARGIN,
+            (bb.0 - MARGIN).max(-90.0),
+            (bb.1 + MARGIN).min(90.0),
+            (bb.2 - MARGIN).max(-180.0),
+            (bb.3 + MARGIN).min(180.0),
         ))
     }
 
-    /// True if `p` lies inside (min edges inclusive, max edges exclusive).
+    /// True if `p` lies inside the box (all edges inclusive, matching
+    /// [`Grid::cell_of`]'s max-edge clamp: a point exactly on the max
+    /// edge belongs to the last row/column, it does not fall off).
     pub fn contains(&self, p: &GeoPoint) -> bool {
         p.lat >= self.min_lat
-            && p.lat < self.max_lat
+            && p.lat <= self.max_lat
             && p.lon >= self.min_lon
-            && p.lon < self.max_lon
+            && p.lon <= self.max_lon
     }
 
     /// Geographic centre of the box.
@@ -165,6 +174,45 @@ impl Grid {
             })
     }
 
+    /// Cells at Chebyshev distance exactly `r` from `center`, clipped to
+    /// the grid, in deterministic row-major order. `r == 0` yields only
+    /// `center` itself.
+    ///
+    /// This is the expansion step of grid-based candidate retrieval: ring
+    /// 0 is the query cell, ring 1 its 8-neighbourhood shell, and so on
+    /// outward until the candidate budget fills.
+    pub fn ring(&self, center: GridCell, r: usize) -> impl Iterator<Item = GridCell> + '_ {
+        let (cr, cc) = (center.row as isize, center.col as isize);
+        let r = r as isize;
+        let rows = cr - r..=cr + r;
+        rows.flat_map(move |row| {
+            // Top and bottom edges sweep the full span; the sides only
+            // contribute their two extreme columns.
+            // For r == 0 the single row is both the top and bottom edge,
+            // so the side branch below only ever runs with r >= 1.
+            let cols: Vec<isize> = if row == cr - r || row == cr + r {
+                (cc - r..=cc + r).collect()
+            } else {
+                vec![cc - r, cc + r]
+            };
+            cols.into_iter().map(move |col| (row, col))
+        })
+        .filter_map(move |(row, col)| {
+            (row >= 0 && col >= 0 && (row as usize) < self.n1 && (col as usize) < self.n2)
+                .then_some(GridCell {
+                    row: row as usize,
+                    col: col as usize,
+                })
+        })
+    }
+
+    /// All cells within Chebyshev distance `r` of `center` (rings
+    /// `0..=r`), nearest ring first — the full expansion order of
+    /// ring-based retrieval.
+    pub fn rings_within(&self, center: GridCell, r: usize) -> impl Iterator<Item = GridCell> + '_ {
+        (0..=r).flat_map(move |d| self.ring(center, d))
+    }
+
     /// Geographic centre of a cell.
     pub fn cell_center(&self, cell: GridCell) -> GeoPoint {
         let lat_step = (self.bbox.max_lat - self.bbox.min_lat) / self.n1 as f64;
@@ -237,6 +285,73 @@ mod tests {
         assert_eq!(corner.len(), 2);
         assert!(corner.contains(&GridCell { row: 1, col: 0 }));
         assert!(corner.contains(&GridCell { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn covering_handles_identical_and_domain_edge_points() {
+        // All points identical: the margin must still open a valid span.
+        let p = GeoPoint::new(37.5, -122.3);
+        let bb = BoundingBox::covering(vec![p, p, p]).unwrap();
+        assert!(bb.contains(&p));
+
+        // Points pinned at the poles / antimeridian: the margin clamps to
+        // the legal domain instead of producing lat > 90 / lon > 180, and
+        // the extreme point still maps to a valid cell of a fine grid
+        // whose every cell center must be a constructible GeoPoint (this
+        // panicked before the clamp).
+        for p in [
+            GeoPoint::new(90.0, 180.0),
+            GeoPoint::new(-90.0, -180.0),
+            GeoPoint::new(90.0, 0.0),
+        ] {
+            let bb = BoundingBox::covering(vec![p, p]).unwrap();
+            assert!(bb.max_lat <= 90.0 && bb.min_lat >= -90.0);
+            assert!(bb.max_lon <= 180.0 && bb.min_lon >= -180.0);
+            assert!(bb.contains(&p), "{p:?} outside {bb:?}");
+            let g = Grid::new(bb, 12, 12);
+            let cell = g.cell_of(&p).expect("domain-edge point lost");
+            let _ = g.cell_center(cell); // must not panic validation
+        }
+    }
+
+    #[test]
+    fn ring_zero_is_center_and_ring_one_is_shell() {
+        let g = unit_grid();
+        let c = GridCell { row: 2, col: 2 };
+        assert_eq!(g.ring(c, 0).collect::<Vec<_>>(), vec![c]);
+        let shell: Vec<_> = g.ring(c, 1).collect();
+        assert_eq!(shell.len(), 8);
+        for cell in &shell {
+            let dr = cell.row.abs_diff(c.row);
+            let dc = cell.col.abs_diff(c.col);
+            assert_eq!(dr.max(dc), 1, "{cell:?} not on ring 1");
+        }
+    }
+
+    #[test]
+    fn ring_clips_at_grid_edges() {
+        let g = unit_grid(); // 5 x 4
+        let corner = GridCell { row: 0, col: 0 };
+        let shell: Vec<_> = g.ring(corner, 1).collect();
+        assert_eq!(shell.len(), 3);
+        // A ring big enough to leave the grid entirely yields nothing.
+        assert_eq!(g.ring(corner, 10).count(), 0);
+    }
+
+    #[test]
+    fn rings_within_covers_every_cell_exactly_once() {
+        let g = unit_grid();
+        let c = GridCell { row: 1, col: 3 };
+        let max_r = g.n1().max(g.n2());
+        let mut seen = std::collections::HashSet::new();
+        let mut last_dist = 0usize;
+        for cell in g.rings_within(c, max_r) {
+            let d = cell.row.abs_diff(c.row).max(cell.col.abs_diff(c.col));
+            assert!(d >= last_dist, "rings must expand outward");
+            last_dist = d;
+            assert!(seen.insert(cell), "{cell:?} emitted twice");
+        }
+        assert_eq!(seen.len(), g.num_cells(), "expansion must reach all cells");
     }
 
     #[test]

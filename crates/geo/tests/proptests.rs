@@ -37,6 +37,49 @@ proptest! {
         prop_assert_eq!(grid.cell_of(&grid.cell_center(cell)), Some(cell));
     }
 
+    /// `BoundingBox::covering` + `Grid::cell_of` lose no input point, for
+    /// adversarial point sets: clustered at many scales, collinear (zero
+    /// lat or lon span), all-identical, and pinned at the poles or the
+    /// antimeridian where the covering margin must clamp to the legal
+    /// coordinate domain. Points exactly on the covering box's max edges
+    /// must land in the last row/column, never fall off, and every
+    /// touched cell's center must be a constructible `GeoPoint`.
+    #[test]
+    fn covering_box_maps_every_point_to_a_valid_cell(
+        (base_lat, base_lon) in (-95.0f64..95.0, -190.0f64..190.0),
+        scale_idx in 0usize..5,
+        offsets in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..40),
+        (collapse_lat, collapse_lon) in (any::<bool>(), any::<bool>()),
+        (n1, n2) in (1usize..12, 1usize..12)
+    ) {
+        // Scale 0.0 collapses all points onto the base (the degenerate
+        // box); the base range overshoots the domain so clamping pins
+        // whole point sets onto the poles / antimeridian.
+        let scale = [0.0, 1e-9, 1e-3, 1.0, 30.0][scale_idx];
+        let points: Vec<GeoPoint> = offsets
+            .iter()
+            .map(|&(dlat, dlon)| {
+                let lat = base_lat + if collapse_lat { 0.0 } else { dlat * scale };
+                let lon = base_lon + if collapse_lon { 0.0 } else { dlon * scale };
+                GeoPoint::new(lat.clamp(-90.0, 90.0), lon.clamp(-180.0, 180.0))
+            })
+            .collect();
+        let bbox = BoundingBox::covering(points.clone()).expect("non-empty input");
+        let grid = Grid::new(bbox, n1, n2);
+        for p in &points {
+            prop_assert!(bbox.contains(p), "{p:?} outside covering {bbox:?}");
+            let cell = grid.cell_of(p).expect("covering box lost a point");
+            prop_assert!(cell.row < n1 && cell.col < n2);
+            // Cell centers of touched cells are valid geographic points
+            // (panicked pre-fix for boxes at the domain edge).
+            let _ = grid.cell_center(cell);
+        }
+        // Points exactly on the max edges still map into the last cells.
+        let ne = GeoPoint::new(bbox.max_lat, bbox.max_lon);
+        let cell = grid.cell_of(&ne).expect("max corner fell off the grid");
+        prop_assert_eq!(cell, st_geo::GridCell { row: n1 - 1, col: n2 - 1 });
+    }
+
     /// Algorithm 1 always yields a partition of the visited cells,
     /// regardless of visitor structure or threshold.
     #[test]

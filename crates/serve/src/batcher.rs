@@ -97,6 +97,12 @@ pub enum SubmitError {
     /// An injected scorer fault failed the batch (HTTP `500`; only
     /// reachable with a [`FaultInjector`] attached).
     ScorerFailed,
+    /// The request referenced a user or POI the serving snapshot cannot
+    /// score (HTTP `400`). Malformed input is validated out per job
+    /// before the batch is concatenated, so it becomes an error reply
+    /// for that job alone — never a worker panic, and never collateral
+    /// damage to the well-formed jobs sharing its batch.
+    InvalidRequest,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -106,6 +112,7 @@ impl std::fmt::Display for SubmitError {
             SubmitError::DeadlineExceeded => write!(f, "deadline exceeded"),
             SubmitError::ShuttingDown => write!(f, "shutting down"),
             SubmitError::ScorerFailed => write!(f, "scorer failed"),
+            SubmitError::InvalidRequest => write!(f, "invalid request"),
         }
     }
 }
@@ -433,17 +440,45 @@ fn score_chunk(
     if chunk.is_empty() {
         return;
     }
+    // Validate each job against the snapshot it will be scored by,
+    // before any concatenation: a malformed request (unknown user,
+    // out-of-range candidate) is answered with `InvalidRequest` on its
+    // own channel, and the rest of the chunk scores normally.
+    let (num_users, num_pois) = (snapshot.frozen.num_users(), snapshot.frozen.num_pois());
+    let mut valid: Vec<Job> = Vec::with_capacity(chunk.len());
+    for job in chunk {
+        let well_formed =
+            job.req.user.idx() < num_users && job.req.candidates.iter().all(|p| p.idx() < num_pois);
+        if well_formed {
+            valid.push(job);
+        } else {
+            let _ = job.tx.send(Err(SubmitError::InvalidRequest));
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
     let mut users: Vec<UserId> = Vec::with_capacity(total);
     let mut pois: Vec<PoiId> = Vec::with_capacity(total);
-    for job in &chunk {
+    for job in &valid {
         users.extend(std::iter::repeat_n(job.req.user, job.req.candidates.len()));
         pois.extend_from_slice(&job.req.candidates);
     }
-    let scores = snapshot.frozen.score_pairs_with(ctx, &users, &pois);
-    debug_assert_eq!(scores.len(), total);
+    // Per-job validation above makes this infallible, but the worker
+    // thread must never be one refactor away from a panic: any residual
+    // shape problem is an error reply, not a crash.
+    let scores = match snapshot.frozen.try_score_pairs_with(ctx, &users, &pois) {
+        Ok(scores) => scores,
+        Err(_) => {
+            for job in valid {
+                let _ = job.tx.send(Err(SubmitError::InvalidRequest));
+            }
+            return;
+        }
+    };
 
     let mut offset = 0;
-    for job in chunk {
+    for job in valid {
         let n = job.req.candidates.len();
         let slice = &scores[offset..offset + n];
         offset += n;
@@ -576,6 +611,58 @@ mod tests {
             .submit(request(split.test_users[0], &Arc::new(Vec::new()), 5))
             .unwrap();
         assert!(reply.recs.is_empty());
+    }
+
+    #[test]
+    fn malformed_jobs_get_invalid_request_without_hurting_batchmates() {
+        let (cell, d, split) = cell();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = MicroBatcher::start(
+            cell.clone(),
+            metrics,
+            BatchConfig {
+                window: Duration::from_millis(5),
+                max_batch: 8,
+                ..BatchConfig::default()
+            },
+        );
+        let candidates = Arc::new(d.pois_in_city(split.target_city).to_vec());
+        let good_user = split.test_users[0];
+        let ghost_user = UserId(d.num_users() as u32 + 7);
+        let ghost_poi = Arc::new(vec![PoiId(d.num_pois() as u32)]);
+
+        // Submit a malformed and a well-formed job concurrently so they
+        // coalesce into one batch: the bad one errors, the good one is
+        // answered exactly like an unbatched request.
+        std::thread::scope(|scope| {
+            let bad_user = {
+                let batcher = &batcher;
+                let candidates = candidates.clone();
+                scope.spawn(move || batcher.submit(request(ghost_user, &candidates, 3)))
+            };
+            let bad_poi = {
+                let batcher = &batcher;
+                let ghost_poi = ghost_poi.clone();
+                scope.spawn(move || batcher.submit(request(good_user, &ghost_poi, 3)))
+            };
+            let good = {
+                let batcher = &batcher;
+                let candidates = candidates.clone();
+                scope.spawn(move || batcher.submit(request(good_user, &candidates, 3)))
+            };
+            assert_eq!(bad_user.join().unwrap(), Err(SubmitError::InvalidRequest));
+            assert_eq!(bad_poi.join().unwrap(), Err(SubmitError::InvalidRequest));
+            let reply = good.join().unwrap().expect("valid batchmate served");
+            let expected = recommend_top_k(
+                &cell.current().model,
+                &d,
+                good_user,
+                split.target_city,
+                3,
+                &[],
+            );
+            assert_eq!(reply.recs, expected);
+        });
     }
 
     #[test]

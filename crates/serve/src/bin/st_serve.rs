@@ -19,7 +19,7 @@ use st_data::{synth, CityId, CrossingCitySplit, Dataset};
 use st_serve::server::{Engine, ServeConfig, Server};
 use st_serve::snapshot::Reloader;
 use st_serve::BatchConfig;
-use st_transrec_core::{ModelConfig, STTransRec};
+use st_transrec_core::{ModelConfig, RetrievalConfig, STTransRec};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,6 +41,9 @@ struct Args {
     config: String,
     embedding_dim: Option<usize>,
     demo_epochs: usize,
+    max_candidates: usize,
+    nprobe: usize,
+    grid_rings: usize,
 }
 
 impl Default for Args {
@@ -62,6 +65,9 @@ impl Default for Args {
             config: "test-small".into(),
             embedding_dim: None,
             demo_epochs: 1,
+            max_candidates: RetrievalConfig::default().max_candidates,
+            nprobe: RetrievalConfig::default().nprobe,
+            grid_rings: RetrievalConfig::default().grid_rings,
         }
     }
 }
@@ -87,6 +93,14 @@ OPTIONS:
   --degrade-watermark N   queue depth above which requests fall back to
                           stale cached results (0 = off)   [default: 0]
   --cache-capacity N      LRU result-cache entries      [default: 4096]
+  --max-candidates N      two-stage retrieval candidate budget; queries
+                          re-rank at most N candidates instead of the
+                          full city catalog (0 = always exact scan)
+                                                        [default: 4096]
+  --nprobe N              IVF inverted lists probed per query
+                                                           [default: 8]
+  --grid-rings N          geo-grid ring radius around the query anchor
+                                                           [default: 2]
   --watch-interval-ms MS  checkpoint mtime watcher (0=off) [default: 0]
   --config NAME           test-small | foursquare | yelp
   --embedding-dim D       override the preset's embedding size
@@ -152,6 +166,21 @@ fn parse_args() -> Args {
                 args.cache_capacity = value("--cache-capacity")
                     .parse()
                     .unwrap_or_else(|_| fail("--cache-capacity must be an integer"))
+            }
+            "--max-candidates" => {
+                args.max_candidates = value("--max-candidates")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-candidates must be an integer"))
+            }
+            "--nprobe" => {
+                args.nprobe = value("--nprobe")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--nprobe must be an integer"))
+            }
+            "--grid-rings" => {
+                args.grid_rings = value("--grid-rings")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--grid-rings must be an integer"))
             }
             "--watch-interval-ms" => {
                 args.watch_interval_ms = value("--watch-interval-ms")
@@ -287,6 +316,12 @@ fn main() {
         watch_interval: (args.watch_interval_ms > 0)
             .then(|| Duration::from_millis(args.watch_interval_ms)),
         degrade_watermark: args.degrade_watermark,
+        retrieval: (args.max_candidates > 0).then(|| RetrievalConfig {
+            max_candidates: args.max_candidates,
+            nprobe: args.nprobe.max(1),
+            grid_rings: args.grid_rings,
+            ..RetrievalConfig::default()
+        }),
         ..ServeConfig::default()
     };
     let engine = Engine::new(dataset.clone(), model, Some(reloader), &serve_config);

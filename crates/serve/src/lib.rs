@@ -29,6 +29,14 @@
 //! tiny blocking HTTP client used by the end-to-end tests and the
 //! `st-bench` load generator.
 //!
+//! Large catalogs are served through two-stage retrieval: each model
+//! generation carries a `st_transrec_core::RetrievalIndex` (geo-grid +
+//! IVF candidate generation, built at snapshot-capture time before the
+//! swap lock), so a `/recommend` miss re-ranks a bounded candidate set
+//! instead of the whole city. Small catalogs and unindexed cities fall
+//! back to the exact sharded scan; the fallback count and candidate-set
+//! sizes are exported on `/metrics`.
+//!
 //! Serving is overload-safe: the batcher queue is bounded (overflow is
 //! shed with `429 Too Many Requests`), queued jobs carry deadlines
 //! (expired work is dropped with `503` before scoring), and above a

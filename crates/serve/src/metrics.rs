@@ -15,6 +15,12 @@ pub const LATENCY_BUCKETS_US: [u64; 10] = [
 /// Upper bounds (inclusive) of the batch-size buckets, requests.
 pub const BATCH_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 
+/// Upper bounds (inclusive) of the candidate-set-size buckets, POIs per
+/// ranked request. Sized around the default `max_candidates` of 4096:
+/// the low buckets show sparse grid/IVF hits, the top ones show
+/// budget-saturated or exact-fallback-sized sets.
+pub const CANDIDATE_BUCKETS: [u64; 8] = [64, 128, 256, 512, 1_024, 2_048, 4_096, 16_384];
+
 /// A fixed-bucket cumulative histogram.
 #[derive(Debug)]
 pub struct Histogram<const N: usize> {
@@ -137,8 +143,14 @@ pub struct Metrics {
     pub degraded_total: AtomicU64,
     /// Requests failed by an injected scorer fault (500, chaos only).
     pub injected_failures_total: AtomicU64,
+    /// Ranked requests that fell back to the exact full-catalog scan
+    /// (no retrieval index for the city, retrieval disabled, or an
+    /// unindexable query) — degraded-to-exact serving made observable.
+    pub retrieval_fallback_total: AtomicU64,
     /// Batch-size distribution.
     pub batch_size: Histogram<7>,
+    /// Candidate-set-size distribution (POIs re-ranked per request).
+    pub candidate_size: Histogram<8>,
     /// `/recommend` latency distribution, microseconds.
     pub latency_us: Histogram<10>,
 }
@@ -229,6 +241,10 @@ impl Metrics {
             "st_serve_injected_failures_total",
             self.injected_failures_total.load(Relaxed),
         );
+        counter(
+            "st_serve_retrieval_fallback_total",
+            self.retrieval_fallback_total.load(Relaxed),
+        );
         for (name, q) in [
             ("st_serve_request_latency_us_p50", 0.50),
             ("st_serve_request_latency_us_p99", 0.99),
@@ -242,6 +258,11 @@ impl Metrics {
         let _ = writeln!(out, "st_serve_cache_entries {cache_len}");
         self.batch_size
             .render_into(&mut out, "st_serve_batch_size", &BATCH_BUCKETS);
+        self.candidate_size.render_into(
+            &mut out,
+            "st_serve_candidate_set_size",
+            &CANDIDATE_BUCKETS,
+        );
         self.latency_us
             .render_into(&mut out, "st_serve_request_latency_us", &LATENCY_BUCKETS_US);
         out
@@ -356,6 +377,8 @@ mod tests {
         m.degraded_total.fetch_add(1, Relaxed);
         m.queue_depth.store(9, Relaxed);
         m.latency_us.observe(120, &LATENCY_BUCKETS_US);
+        m.retrieval_fallback_total.fetch_add(4, Relaxed);
+        m.candidate_size.observe(300, &CANDIDATE_BUCKETS);
         let text = m.render(7, 42);
         assert!(text.contains("st_serve_requests_total{route=\"recommend\"} 2"));
         assert!(text.contains("st_serve_responses_total{class=\"2xx\"} 1"));
@@ -372,5 +395,8 @@ mod tests {
         assert!(text.contains("st_serve_request_latency_us_p50 250"));
         assert!(text.contains("st_serve_request_latency_us_p99 250"));
         assert!(text.contains("st_serve_request_latency_us_count 1"));
+        assert!(text.contains("st_serve_retrieval_fallback_total 4"));
+        assert!(text.contains("st_serve_candidate_set_size_bucket{le=\"512\"} 1"));
+        assert!(text.contains("st_serve_candidate_set_size_count 1"));
     }
 }

@@ -31,7 +31,7 @@ use crate::lru::LruCache;
 use crate::metrics::{Metrics, LATENCY_BUCKETS_US};
 use crate::snapshot::{ModelCell, Reloader};
 use st_data::{CityId, Dataset, UserId};
-use st_transrec_core::{Recommendation, STTransRec};
+use st_transrec_core::{InferCtx, Recommendation, RetrievalConfig, STTransRec};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +71,11 @@ pub struct ServeConfig {
     /// Queue depth at which requests degrade to stale cached results
     /// instead of queueing (0 disables degradation).
     pub degrade_watermark: usize,
+    /// Two-stage retrieval knobs; `None` disables candidate generation
+    /// entirely (every request re-ranks the full city catalog). With the
+    /// default config, catalogs under `min_catalog` still scan exactly —
+    /// the index only engages where it pays.
+    pub retrieval: Option<RetrievalConfig>,
     /// Fault-injection hooks for chaos testing; `None` in production.
     pub fault: Option<Arc<FaultInjector>>,
 }
@@ -87,6 +92,7 @@ impl Default for ServeConfig {
             default_k: 10,
             max_k: 1000,
             degrade_watermark: 0,
+            retrieval: Some(RetrievalConfig::default()),
             fault: None,
         }
     }
@@ -123,7 +129,10 @@ impl Engine {
         reloader: Option<Reloader>,
         config: &ServeConfig,
     ) -> Arc<Self> {
-        let cell = Arc::new(ModelCell::new(model));
+        let cell = Arc::new(match config.retrieval.clone() {
+            Some(cfg) => ModelCell::with_retrieval(model, dataset.clone(), cfg),
+            None => ModelCell::new(model),
+        });
         let metrics = Arc::new(Metrics::new());
         let batcher = MicroBatcher::start_with_faults(
             cell.clone(),
@@ -302,8 +311,28 @@ impl Engine {
             }
         }
 
-        // Miss: score through the micro-batcher.
-        let candidates = Arc::new(self.dataset.pois_in_city(city).to_vec());
+        // Miss: generate candidates (two-stage retrieval when this
+        // generation carries an index, exact full catalog otherwise),
+        // then score through the micro-batcher.
+        let generation = self.cell.current();
+        let retrieved = generation.retrieval.as_deref().and_then(|index| {
+            let mut ctx = InferCtx::new();
+            index.candidates(&generation.frozen, &mut ctx, &self.dataset, user, city)
+        });
+        let candidates = match retrieved {
+            Some(c) => Arc::new(c.pois),
+            None => {
+                // Degraded-to-exact serving, made observable: either no
+                // index covers this city or retrieval is disabled.
+                self.metrics
+                    .retrieval_fallback_total
+                    .fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.dataset.pois_in_city(city).to_vec())
+            }
+        };
+        self.metrics
+            .candidate_size
+            .observe(candidates.len() as u64, &crate::metrics::CANDIDATE_BUCKETS);
         let reply = match self.batcher.submit(BatchRequest {
             user,
             candidates,
@@ -322,6 +351,12 @@ impl Engine {
             }
             Err(SubmitError::ScorerFailed) => {
                 return Response::error(500, "scorer failed");
+            }
+            Err(SubmitError::InvalidRequest) => {
+                // The snapshot the batch scored with could not address
+                // this request's ids (e.g. a model generation narrower
+                // than the dataset): client error, not a worker panic.
+                return Response::error(400, "request not scorable by the serving model");
             }
         };
         let body: Arc<str> = render_recommend_body(user, city, k, reply.epoch, &reply.recs).into();

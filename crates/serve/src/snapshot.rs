@@ -16,7 +16,7 @@
 
 use st_data::{CrossingCitySplit, Dataset};
 use st_transrec_core::ModelSnapshot as FrozenModel;
-use st_transrec_core::{ModelConfig, STTransRec};
+use st_transrec_core::{ModelConfig, RetrievalConfig, RetrievalIndex, STTransRec};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -34,25 +34,58 @@ pub struct ModelSnapshot {
     pub frozen: FrozenModel,
     /// Monotone generation number, starting at 1.
     pub epoch: u64,
+    /// This generation's two-stage retrieval index, built from the
+    /// frozen embeddings at capture time. `None` when the cell was
+    /// created without retrieval — every query then falls back to the
+    /// exact sharded scan.
+    pub retrieval: Option<Arc<RetrievalIndex>>,
 }
 
 /// The atomically swappable current snapshot.
 pub struct ModelCell {
     current: RwLock<Arc<ModelSnapshot>>,
     epoch: AtomicU64,
+    /// Dataset + knobs needed to rebuild the retrieval index for each
+    /// new generation; `None` disables retrieval for the cell's life.
+    retrieval_ctx: Option<(Arc<Dataset>, RetrievalConfig)>,
 }
 
 impl ModelCell {
-    /// Wraps `model` as epoch 1.
-    pub fn new(model: STTransRec) -> Self {
+    fn capture(
+        model: STTransRec,
+        epoch: u64,
+        retrieval_ctx: &Option<(Arc<Dataset>, RetrievalConfig)>,
+    ) -> Arc<ModelSnapshot> {
         let frozen = model.snapshot();
+        let retrieval = retrieval_ctx
+            .as_ref()
+            .map(|(d, cfg)| Arc::new(RetrievalIndex::build(&frozen, d, cfg.clone())));
+        Arc::new(ModelSnapshot {
+            model,
+            frozen,
+            epoch,
+            retrieval,
+        })
+    }
+
+    /// Wraps `model` as epoch 1, with no retrieval index (every query
+    /// scans the full catalog).
+    pub fn new(model: STTransRec) -> Self {
+        Self::build(model, None)
+    }
+
+    /// Wraps `model` as epoch 1 and builds a retrieval index for this
+    /// and every future generation from `dataset` with `cfg`.
+    pub fn with_retrieval(model: STTransRec, dataset: Arc<Dataset>, cfg: RetrievalConfig) -> Self {
+        Self::build(model, Some((dataset, cfg)))
+    }
+
+    fn build(model: STTransRec, retrieval_ctx: Option<(Arc<Dataset>, RetrievalConfig)>) -> Self {
+        let snapshot = Self::capture(model, 1, &retrieval_ctx);
         Self {
-            current: RwLock::new(Arc::new(ModelSnapshot {
-                model,
-                frozen,
-                epoch: 1,
-            })),
+            current: RwLock::new(snapshot),
             epoch: AtomicU64::new(1),
+            retrieval_ctx,
         }
     }
 
@@ -69,14 +102,22 @@ impl ModelCell {
 
     /// Atomically replaces the model, returning the new epoch. In-flight
     /// holders of the old `Arc` keep scoring against the old weights.
+    /// The new generation's retrieval index (when the cell has one) is
+    /// built *before* the write lock is taken, so readers are never
+    /// blocked behind an index build.
     pub fn swap(&self, model: STTransRec) -> u64 {
         let frozen = model.snapshot();
+        let retrieval = self
+            .retrieval_ctx
+            .as_ref()
+            .map(|(d, cfg)| Arc::new(RetrievalIndex::build(&frozen, d, cfg.clone())));
         let mut guard = self.current.write().expect("model cell poisoned");
         let epoch = guard.epoch + 1;
         *guard = Arc::new(ModelSnapshot {
             model,
             frozen,
             epoch,
+            retrieval,
         });
         self.epoch.store(epoch, Ordering::Release);
         epoch
@@ -194,6 +235,30 @@ mod tests {
             snap.frozen.score_batch(UserId(0), pois),
             snap.model.score_batch(UserId(0), pois)
         );
+    }
+
+    #[test]
+    fn with_retrieval_builds_an_index_per_generation() {
+        let (d, s) = setup();
+        let cfg = RetrievalConfig {
+            min_catalog: 1,
+            ..RetrievalConfig::default()
+        };
+        let cell = ModelCell::with_retrieval(
+            STTransRec::new(&d, &s, ModelConfig::test_small()),
+            d.clone(),
+            cfg,
+        );
+        let first = cell.current();
+        let idx1 = first.retrieval.as_ref().expect("index built at epoch 1");
+        assert!(idx1.covers(s.target_city));
+        cell.swap(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        let second = cell.current();
+        let idx2 = second.retrieval.as_ref().expect("index rebuilt on swap");
+        assert!(!Arc::ptr_eq(idx1, idx2), "swap must rebuild the index");
+        // Cells created without retrieval stay index-free.
+        let plain = ModelCell::new(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        assert!(plain.current().retrieval.is_none());
     }
 
     #[test]

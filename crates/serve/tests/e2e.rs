@@ -13,7 +13,7 @@ use st_serve::client::HttpClient;
 use st_serve::server::{render_recommend_body, Engine, ServeConfig, Server};
 use st_serve::snapshot::Reloader;
 use st_serve::BatchConfig;
-use st_transrec_core::{recommend_top_k, ModelConfig, Recommendation, STTransRec};
+use st_transrec_core::{recommend_top_k, ModelConfig, Recommendation, RetrievalConfig, STTransRec};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -210,6 +210,41 @@ fn concurrent_clients_with_inflight_reload() {
     assert_eq!(resp.body, gen2[0]);
     let health = client.get("/healthz").expect("healthz");
     assert!(health.body.contains("\"model_epoch\":2"), "{}", health.body);
+
+    server.shutdown();
+}
+
+#[test]
+fn retrieval_with_full_budget_serves_the_exact_ranking() {
+    let fx = fixture("retrieval", 1);
+    // Force the tiny demo catalog through the two-stage path: index every
+    // city (min_catalog 1) with a candidate budget covering the whole
+    // catalog, so the retrieved ranking must be byte-identical to the
+    // exact-scan oracle.
+    let config = ServeConfig {
+        retrieval: Some(RetrievalConfig {
+            min_catalog: 1,
+            max_candidates: fx.dataset.num_pois(),
+            nprobe: usize::MAX,
+            ..RetrievalConfig::default()
+        }),
+        ..ServeConfig::default()
+    };
+    let server = start_server(&fx, &config);
+    let mut client = HttpClient::connect(server.local_addr()).expect("connect");
+
+    for (user, city, k) in [(0u32, 1u16, 5usize), (3, 1, 10), (7, 0, 3)] {
+        let resp = client
+            .get(&format!("/recommend?user={user}&city={city}&k={k}"))
+            .expect("request");
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        assert_eq!(resp.body, expected_body(&fx, user, city, k, 1));
+    }
+
+    // The candidate-set histogram saw traffic and nothing fell back.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("st_serve_candidate_set_size_count"));
+    assert!(metrics.body.contains("st_serve_retrieval_fallback_total 0"));
 
     server.shutdown();
 }
