@@ -1,0 +1,79 @@
+//! Online-loop benchmark binary (PR 7).
+//!
+//! Runs the streaming ingest → incremental train → shadow-eval → gated
+//! publish suite in [`st_bench::online_loop`] twice under one seed and
+//! writes the report to `BENCH_PR7.json` at the repo root (override the
+//! path with `ST_BENCH_OUT`, the seed with `ST_BENCH_SEED`).
+//!
+//! `--smoke` runs the tiny CI variant (4 cycles on the two-city
+//! dataset); the full run does 6 cycles on a scaled Foursquare-like
+//! dataset. Both variants enforce the same correctness gates:
+//! reproducible publish sequence, every injected regression rejected,
+//! every injected crash contained — plus at least one clean publish.
+//!
+//! Build with `--release`: a debug build measures nothing meaningful.
+
+use st_bench::online_loop::{run_online_suite, OnlineLoopOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        OnlineLoopOptions::smoke()
+    } else {
+        OnlineLoopOptions::full()
+    };
+    if let Some(seed) = std::env::var("ST_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        opts.seed = seed;
+    }
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json"))
+        });
+
+    eprintln!(
+        "running online-loop suite ({} mode, seed {}, {} cycles)...",
+        if smoke { "smoke" } else { "full" },
+        opts.seed,
+        opts.cycles
+    );
+    let report = run_online_suite(&opts);
+
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: {} published / {} rejected / {} crashed; reproducible={}; \
+         rejection_defended={}; crash_defended={}; {:.0} events/s ingested; \
+         publish latency {:.0}us mean; staleness max {}us",
+        a.published,
+        a.rejected,
+        a.crashed,
+        a.reproducible,
+        a.rejection_defended,
+        a.crash_defended,
+        a.events_per_sec,
+        a.publish_latency_us_mean,
+        a.staleness_us_max
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write online loop report");
+    eprintln!("wrote {}", out_path.display());
+
+    // Correctness gates are identical in both modes: the loop must
+    // publish, must reject what it injected, must contain the crash,
+    // and must replay bit-identically.
+    let failed = a.published < 1
+        || a.rejected < 1
+        || a.crashed < 1
+        || !a.reproducible
+        || !a.rejection_defended
+        || !a.crash_defended;
+    if failed {
+        eprintln!("WARNING: acceptance gates not met");
+        std::process::exit(1);
+    }
+}

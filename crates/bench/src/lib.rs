@@ -17,6 +17,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod infer_perf;
 pub mod json;
+pub mod online_loop;
 pub mod perf;
 pub mod retrieval_perf;
 pub mod runner;

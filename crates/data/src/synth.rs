@@ -22,6 +22,17 @@
 //! Presets [`SynthConfig::foursquare_like`] and [`SynthConfig::yelp_like`]
 //! are calibrated to Table 1; [`SynthConfig::with_scale`] shrinks them
 //! proportionally for CI-speed runs.
+//!
+//! **Timestamp invariant**: [`generate`] assigns every check-in a
+//! globally unique, strictly increasing ordinal `time` (a single counter
+//! advanced once per emitted check-in), so timestamps are strictly
+//! monotone per user under a fixed seed. Leave-last-out splits and the
+//! streaming windows of [`CheckinStream`] rely on this — ties would make
+//! "most recent" ambiguous and windows non-deterministic.
+//!
+//! [`CheckinStream`] extends a generated dataset into a deterministic,
+//! seeded live event source: the online-learning pipeline (`st-online`)
+//! consumes it as the stand-in for a production check-in feed.
 
 use crate::lexicon::{city_words, num_topics, TOPICS};
 use crate::{Checkin, City, CityId, Dataset, Poi, PoiId, UserId, Vocabulary, WordId};
@@ -570,6 +581,14 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
         }
     }
 
+    // Timestamp invariant (see module docs): one global counter, bumped
+    // exactly once per emitted check-in, makes `time` strictly increasing
+    // over the whole vector — hence strictly monotone per user.
+    debug_assert!(
+        checkins.windows(2).all(|w| w[0].time < w[1].time),
+        "check-in timestamps must be strictly increasing"
+    );
+
     let dataset = Dataset::new(cities, pois, vocab, config.users, checkins);
     let meta = SynthMeta {
         user_prefs,
@@ -579,6 +598,137 @@ pub fn generate(config: &SynthConfig) -> (Dataset, SynthMeta) {
         poi_district,
     };
     (dataset, meta)
+}
+
+/// A deterministic, seeded stream of *new* check-in events over an
+/// existing [`Dataset`] — the synthetic stand-in for a production
+/// check-in feed that the online-learning pipeline ingests.
+///
+/// The stream continues the dataset's statistical structure rather than
+/// replaying it: users are drawn proportionally to their historical
+/// check-in volume (heavy users keep checking in), and each event picks
+/// a POI from the user's modal ("home") city weighted by historical
+/// popularity plus one (so cold POIs stay reachable and rankings can
+/// drift — the reason continual training pays at all).
+///
+/// Two invariants the downstream trainer and shadow evaluator rely on:
+///
+/// - **Determinism**: equal `(dataset, seed)` produce the identical
+///   event sequence, which is what makes end-to-end online-loop runs
+///   two-pass reproducible.
+/// - **Monotone time**: event timestamps continue strictly increasing
+///   from the dataset's maximum timestamp (one global counter, like
+///   [`generate`]), so "the last W events" is a well-defined window and
+///   per-user histories never tie.
+#[derive(Debug)]
+pub struct CheckinStream {
+    user_dist: WeightedIndex<f64>,
+    /// Modal visited city per user (home fallback for users without
+    /// history — they carry zero sampling weight, so it is never used).
+    user_city: Vec<CityId>,
+    /// Per-city POI pools with popularity + 1 weights.
+    city_pois: Vec<Vec<PoiId>>,
+    city_dist: Vec<Option<WeightedIndex<f64>>>,
+    rng: SmallRng,
+    next_time: u32,
+}
+
+impl CheckinStream {
+    /// Builds a stream continuing `dataset` under `seed`.
+    ///
+    /// # Panics
+    /// Panics if the dataset has no check-ins (no volume to imitate).
+    pub fn new(dataset: &Dataset, seed: u64) -> Self {
+        assert!(
+            !dataset.checkins().is_empty(),
+            "cannot stream over an empty dataset"
+        );
+        let num_cities = dataset.cities().len();
+
+        // Per-user check-in volume and modal city.
+        let mut volume = vec![0u32; dataset.num_users()];
+        let mut city_visits = vec![vec![0u32; num_cities]; dataset.num_users()];
+        let mut max_time = 0u32;
+        for c in dataset.checkins() {
+            volume[c.user.idx()] += 1;
+            city_visits[c.user.idx()][dataset.poi(c.poi).city.idx()] += 1;
+            max_time = max_time.max(c.time);
+        }
+        let user_city: Vec<CityId> = city_visits
+            .iter()
+            .map(|visits| {
+                let best = visits
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &n)| n)
+                    .map(|(ci, _)| ci)
+                    .unwrap_or(0);
+                CityId(best as u16)
+            })
+            .collect();
+        let user_dist = WeightedIndex::new(volume.iter().map(|&v| v as f64))
+            .expect("at least one user has check-ins");
+
+        // Per-city popularity-weighted POI samplers.
+        let city_pois: Vec<Vec<PoiId>> = (0..num_cities)
+            .map(|ci| dataset.pois_in_city(CityId(ci as u16)).to_vec())
+            .collect();
+        let city_dist: Vec<Option<WeightedIndex<f64>>> = city_pois
+            .iter()
+            .map(|pool| {
+                if pool.is_empty() {
+                    return None;
+                }
+                let weights: Vec<f64> = pool
+                    .iter()
+                    .map(|&p| dataset.poi_popularity(p) as f64 + 1.0)
+                    .collect();
+                WeightedIndex::new(&weights).ok()
+            })
+            .collect();
+
+        Self {
+            user_dist,
+            user_city,
+            city_pois,
+            city_dist,
+            rng: SmallRng::seed_from_u64(seed),
+            next_time: max_time.checked_add(1).expect("timestamp space exhausted"),
+        }
+    }
+
+    /// The timestamp the next event will carry.
+    pub fn next_time(&self) -> u32 {
+        self.next_time
+    }
+
+    /// Draws the next event: a historically active user checking in at a
+    /// popularity-weighted POI of their home city, at the next strictly
+    /// increasing timestamp.
+    pub fn next_event(&mut self) -> Checkin {
+        loop {
+            let user = self.user_dist.sample(&mut self.rng) as u32;
+            let city = self.user_city[user as usize];
+            let Some(dist) = self.city_dist[city.idx()].as_ref() else {
+                // A home city with zero POIs cannot occur for a user with
+                // history, but stay total: resample rather than panic.
+                continue;
+            };
+            let poi = self.city_pois[city.idx()][dist.sample(&mut self.rng)];
+            let time = self.next_time;
+            self.next_time = time.checked_add(1).expect("timestamp space exhausted");
+            return Checkin {
+                user: UserId(user),
+                poi,
+                time,
+            };
+        }
+    }
+
+    /// Draws the next `n` events in arrival order.
+    pub fn next_batch(&mut self, n: usize) -> Vec<Checkin> {
+        (0..n).map(|_| self.next_event()).collect()
+    }
 }
 
 /// A weighted POI sampler for one (city, topic) pair: the POI ids and
@@ -688,6 +838,80 @@ mod tests {
         assert_eq!(a.pois().len(), b.pois().len());
         let (c, _) = generate(&SynthConfig::tiny().with_seed(99));
         assert_ne!(a.checkins(), c.checkins(), "different seed, different data");
+    }
+
+    /// Regression test for the timestamp invariant the streaming windows
+    /// and leave-last-out splits rely on: under a fixed seed, timestamps
+    /// are strictly increasing globally — and therefore strictly
+    /// monotone per user, with no ties anywhere.
+    #[test]
+    fn timestamps_strictly_monotone_per_user() {
+        for cfg in [
+            SynthConfig::tiny(),
+            SynthConfig::tiny().with_seed(99),
+            SynthConfig::foursquare_like().with_scale(0.02),
+        ] {
+            let (d, _) = generate(&cfg);
+            let checkins = d.checkins();
+            assert!(
+                checkins.windows(2).all(|w| w[0].time < w[1].time),
+                "global timestamps not strictly increasing (seed {})",
+                cfg.seed
+            );
+            let mut last = vec![None::<u32>; d.num_users()];
+            for c in checkins {
+                if let Some(prev) = last[c.user.idx()] {
+                    assert!(
+                        c.time > prev,
+                        "user {:?} times not strictly monotone: {prev} then {}",
+                        c.user,
+                        c.time
+                    );
+                }
+                last[c.user.idx()] = Some(c.time);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_seed_sensitive() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let a = CheckinStream::new(&d, 42).next_batch(500);
+        let b = CheckinStream::new(&d, 42).next_batch(500);
+        assert_eq!(a, b, "same seed must replay the same events");
+        let c = CheckinStream::new(&d, 43).next_batch(500);
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn stream_events_are_valid_and_continue_monotone_time() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let max_time = d.checkins().iter().map(|c| c.time).max().unwrap();
+        let mut stream = CheckinStream::new(&d, 7);
+        assert_eq!(stream.next_time(), max_time + 1);
+        let events = stream.next_batch(400);
+        let mut prev = max_time;
+        for e in &events {
+            assert!(e.user.idx() < d.num_users());
+            assert!(e.poi.idx() < d.num_pois());
+            assert!(e.time > prev, "stream time went backwards");
+            prev = e.time;
+            // Every event lands in the user's historically modal city.
+            let city = d.poi(e.poi).city;
+            assert!(
+                d.user_checkins(e.user).count() > 0,
+                "streamed a user with no history"
+            );
+            assert!(
+                d.user_cities(e.user).contains(&city),
+                "event outside the user's visited cities"
+            );
+        }
+        // Volume weighting: the stream should touch many distinct users.
+        let mut users: Vec<u32> = events.iter().map(|e| e.user.0).collect();
+        users.sort_unstable();
+        users.dedup();
+        assert!(users.len() > 10, "stream stuck on {} users", users.len());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 mod bootstrap;
 mod metrics;
 mod protocol;
+mod window;
 
 pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
 pub use metrics::{
     metric_at_k, overlap_at_k, rank_metrics, Metric, MetricAccumulator, MetricReport, UserMetrics,
 };
 pub use protocol::{evaluate, score_sharded, EvalConfig, Scorer};
+pub use window::{evaluate_window, WindowEvalConfig, WindowReport};

@@ -1,0 +1,289 @@
+//! Windowed shadow evaluation over recent check-in events.
+//!
+//! The offline protocol ([`crate::evaluate`]) ranks held-out
+//! crossing-city visits; the online loop needs something different: a
+//! cheap, deterministic score for "how well would this candidate model
+//! serve the traffic we just saw?". [`evaluate_window`] answers that
+//! over a held-out window of recent events — for each event, the true
+//! POI is ranked against seeded same-city negatives the scorer also
+//! sees, yielding hit-rate@k and MRR.
+//!
+//! Determinism is the load-bearing property: the negative sets depend
+//! only on `(events, seed)`, never on the scorer, so a candidate and the
+//! serving baseline are compared on *identical* candidate lists and the
+//! publish gate's accept/reject decision is reproducible run to run.
+
+use crate::Scorer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_data::{Checkin, Dataset, PoiId};
+
+/// Shadow-evaluation knobs.
+#[derive(Debug, Clone)]
+pub struct WindowEvalConfig {
+    /// Same-city negatives ranked against each event's true POI.
+    pub negatives: usize,
+    /// Cutoff for the hit-rate metric.
+    pub k: usize,
+    /// Negative-sampling seed: fixed seed + fixed window = identical
+    /// candidates for every scorer evaluated on that window.
+    pub seed: u64,
+}
+
+impl Default for WindowEvalConfig {
+    fn default() -> Self {
+        Self {
+            negatives: 50,
+            k: 10,
+            seed: 0x5EAD,
+        }
+    }
+}
+
+/// Result of one windowed shadow evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowReport {
+    /// Events evaluated (zero for an empty window).
+    pub events: usize,
+    /// Fraction of events whose true POI ranked in the top `k`.
+    pub hit_rate: f64,
+    /// Mean reciprocal rank of the true POI.
+    pub mrr: f64,
+}
+
+/// Ranks each event's true POI against `config.negatives` seeded
+/// distinct same-city POIs (the true POI excluded from the negatives)
+/// and aggregates hit-rate@k and MRR over the window.
+///
+/// Ties rank the true POI first, matching the stable ordering of
+/// [`crate::rank_metrics`]. An empty window reports zero events and
+/// zero metrics — callers gate on `events` before trusting the rates.
+pub fn evaluate_window(
+    scorer: &dyn Scorer,
+    dataset: &Dataset,
+    events: &[Checkin],
+    config: &WindowEvalConfig,
+) -> WindowReport {
+    assert!(config.negatives > 0, "need at least one negative");
+    assert!(config.k > 0, "need a positive cutoff");
+    if events.is_empty() {
+        return WindowReport {
+            events: 0,
+            hit_rate: 0.0,
+            mrr: 0.0,
+        };
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut hits = 0usize;
+    let mut rr_sum = 0.0f64;
+    let mut candidates: Vec<PoiId> = Vec::with_capacity(config.negatives + 1);
+    for event in events {
+        let truth = event.poi;
+        let city_pois = dataset.pois_in_city(dataset.poi(truth).city);
+        candidates.clear();
+        candidates.push(truth);
+        sample_negatives(
+            city_pois,
+            truth,
+            config.negatives,
+            &mut rng,
+            &mut candidates,
+        );
+        let scores = scorer.score_batch(event.user, &candidates);
+        debug_assert_eq!(scores.len(), candidates.len());
+        // Rank of the truth (index 0) under descending score, ties
+        // resolved in candidate order — i.e. in the truth's favour.
+        let rank = scores[1..].iter().filter(|&&s| s > scores[0]).count();
+        if rank < config.k {
+            hits += 1;
+        }
+        rr_sum += 1.0 / (rank + 1) as f64;
+    }
+    let n = events.len() as f64;
+    WindowReport {
+        events: events.len(),
+        hit_rate: hits as f64 / n,
+        mrr: rr_sum / n,
+    }
+}
+
+/// Appends up to `negatives` distinct same-city POIs (excluding `truth`)
+/// via partial Fisher-Yates over a scratch index vector.
+fn sample_negatives(
+    city_pois: &[PoiId],
+    truth: PoiId,
+    negatives: usize,
+    rng: &mut SmallRng,
+    out: &mut Vec<PoiId>,
+) {
+    let pool: Vec<PoiId> = city_pois.iter().copied().filter(|&p| p != truth).collect();
+    let k = negatives.min(pool.len());
+    let mut idx: Vec<usize> = (0..pool.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+        out.push(pool[idx[i]]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, CheckinStream, SynthConfig};
+    use st_data::UserId;
+    use std::collections::HashMap;
+
+    fn setup() -> (st_data::Dataset, Vec<Checkin>) {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let events = CheckinStream::new(&d, 11).next_batch(60);
+        (d, events)
+    }
+
+    /// Scores 1.0 for each user's known true POI, 0.0 otherwise. Only
+    /// valid for windows where each user appears once.
+    struct Oracle {
+        truth: HashMap<u32, PoiId>,
+        invert: bool,
+    }
+
+    impl Scorer for Oracle {
+        fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            pois.iter()
+                .map(|p| {
+                    let hit = self.truth.get(&user.0) == Some(p);
+                    let s = if hit { 1.0 } else { 0.0 };
+                    if self.invert {
+                        -s
+                    } else {
+                        s
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn dedup_by_user(events: Vec<Checkin>) -> Vec<Checkin> {
+        let mut seen = std::collections::HashSet::new();
+        events
+            .into_iter()
+            .filter(|e| seen.insert(e.user.0))
+            .collect()
+    }
+
+    #[test]
+    fn oracle_scores_perfectly_and_anti_oracle_misses() {
+        let (d, events) = setup();
+        let events = dedup_by_user(events);
+        let truth: HashMap<u32, PoiId> = events.iter().map(|e| (e.user.0, e.poi)).collect();
+        let cfg = WindowEvalConfig::default();
+
+        let report = evaluate_window(
+            &Oracle {
+                truth: truth.clone(),
+                invert: false,
+            },
+            &d,
+            &events,
+            &cfg,
+        );
+        assert_eq!(report.events, events.len());
+        assert_eq!(report.hit_rate, 1.0);
+        assert_eq!(report.mrr, 1.0);
+
+        let anti = evaluate_window(
+            &Oracle {
+                truth,
+                invert: true,
+            },
+            &d,
+            &events,
+            &cfg,
+        );
+        assert!(
+            anti.hit_rate < 0.35,
+            "anti-oracle hit rate {}",
+            anti.hit_rate
+        );
+        assert!(anti.mrr < 0.5, "anti-oracle mrr {}", anti.mrr);
+    }
+
+    #[test]
+    fn same_seed_same_window_is_deterministic() {
+        struct Hash;
+        impl Scorer for Hash {
+            fn score_batch(&self, user: UserId, pois: &[PoiId]) -> Vec<f32> {
+                pois.iter()
+                    .map(|p| ((p.0 ^ user.0).wrapping_mul(2654435761) % 997) as f32)
+                    .collect()
+            }
+        }
+        let (d, events) = setup();
+        let cfg = WindowEvalConfig::default();
+        let a = evaluate_window(&Hash, &d, &events, &cfg);
+        let b = evaluate_window(&Hash, &d, &events, &cfg);
+        assert_eq!(a, b);
+        let c = evaluate_window(
+            &Hash,
+            &d,
+            &events,
+            &WindowEvalConfig {
+                seed: 1,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(a.events, c.events); // same window, different negatives
+    }
+
+    #[test]
+    fn candidates_are_same_city_distinct_and_truth_first() {
+        use std::sync::Mutex;
+        struct Recording<'a> {
+            dataset: &'a st_data::Dataset,
+            windows: Mutex<Vec<Vec<PoiId>>>,
+        }
+        impl Scorer for Recording<'_> {
+            fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+                let city = self.dataset.poi(pois[0]).city;
+                for &p in pois {
+                    assert_eq!(self.dataset.poi(p).city, city, "negative from another city");
+                }
+                let mut sorted = pois.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), pois.len(), "duplicate candidate");
+                self.windows.lock().unwrap().push(pois.to_vec());
+                vec![0.0; pois.len()]
+            }
+        }
+        let (d, events) = setup();
+        let rec = Recording {
+            dataset: &d,
+            windows: Mutex::new(Vec::new()),
+        };
+        let cfg = WindowEvalConfig {
+            negatives: 20,
+            ..WindowEvalConfig::default()
+        };
+        evaluate_window(&rec, &d, &events, &cfg);
+        let windows = rec.windows.into_inner().unwrap();
+        assert_eq!(windows.len(), events.len());
+        for (w, e) in windows.iter().zip(&events) {
+            assert_eq!(w[0], e.poi, "truth must lead the candidate list");
+            assert_eq!(w.len(), 21);
+        }
+    }
+
+    #[test]
+    fn empty_window_reports_zero_events() {
+        struct Zero;
+        impl Scorer for Zero {
+            fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+                vec![0.0; pois.len()]
+            }
+        }
+        let (d, _) = setup();
+        let r = evaluate_window(&Zero, &d, &[], &WindowEvalConfig::default());
+        assert_eq!(r.events, 0);
+        assert_eq!(r.hit_rate, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! `st-online` — run the streaming train→serve loop against an embedded
+//! server and print the per-cycle audit trail.
+//!
+//! ```text
+//! st-online [--seed N] [--cycles N] [--scale F] [--no-faults]
+//! ```
+
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit};
+use st_online::{run_embedded, FaultPlan, OnlineLoopConfig};
+use std::sync::Arc;
+
+fn arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = arg(&args, "--seed", 42);
+    let cycles: usize = arg(&args, "--cycles", 4);
+    let scale: f64 = arg(&args, "--scale", 0.05);
+    let no_faults = args.iter().any(|a| a == "--no-faults");
+
+    eprintln!("generating synthetic dataset (scale {scale})...");
+    let synth_config = SynthConfig::foursquare_like().with_scale(scale);
+    let target = CityId(synth_config.target_city as u16);
+    let (dataset, _) = generate(&synth_config);
+    let dataset = Arc::new(dataset);
+    let split = Arc::new(CrossingCitySplit::build(&dataset, target));
+
+    let mut config = OnlineLoopConfig::smoke(seed);
+    config.faults = if no_faults {
+        FaultPlan::none(cycles)
+    } else {
+        FaultPlan::seeded(cycles.max(3), seed)
+    };
+
+    let scratch = std::env::temp_dir().join(format!("st-online-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    eprintln!(
+        "warming up {} epochs, then {} publish cycles (ckpt in {})...",
+        config.warmup_epochs,
+        config.faults.len(),
+        scratch.display()
+    );
+    let report = run_embedded(&dataset, &split, &scratch, &config)?;
+
+    println!("cycle  fault    outcome    trained  loss    cand-hit  base-hit  epoch  publish-us");
+    for c in &report.cycles {
+        println!(
+            "{:>5}  {:<7}  {:<9}  {:>7}  {:<6.4}  {:<8.4}  {:<8.4}  {:>5}  {}",
+            c.cycle,
+            c.fault.label(),
+            c.outcome.label(),
+            c.events_trained,
+            c.loss,
+            c.candidate_hit_rate,
+            c.baseline_hit_rate,
+            c.served_epoch,
+            c.publish_latency_us
+                .map(|us| us.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "ingested {} events at {:.0} events/s; served epoch {}; reloads ok={} failed={}",
+        report.events_ingested,
+        report.events_per_sec,
+        report.final_served_epoch,
+        report.reloads_ok,
+        report.reloads_failed
+    );
+    Ok(())
+}

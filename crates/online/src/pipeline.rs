@@ -1,0 +1,311 @@
+//! The online learning loop: ingest → train → shadow-eval → gate →
+//! publish, in deterministic cycles.
+//!
+//! Each cycle consumes a slice of the event stream. Most events feed
+//! [`IncrementalTrainer::ingest`] micro-batches; a held-out slice the
+//! trainer never sees lands in the [`ShadowWindow`]. The cycle then
+//! gates the candidate model against the currently *serving* baseline on
+//! that window and, only on acceptance, publishes it atomically to the
+//! running server. Every decision is a pure function of the loop seed,
+//! so two runs with the same config produce identical
+//! publish/reject/crash sequences — asserted by the e2e tests.
+
+use crate::fault::{FaultPlan, PublishFault};
+use crate::publisher::Publisher;
+use crate::shadow::{gate, GateConfig, ShadowWindow};
+use crate::trainer::IncrementalTrainer;
+use st_data::synth::CheckinStream;
+use st_data::{CrossingCitySplit, Dataset};
+use st_serve::server::{Engine, ServeConfig, Server};
+use st_serve::snapshot::Reloader;
+use st_transrec_core::{ModelConfig, STTransRec};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything that parameterizes one run of the loop.
+#[derive(Debug, Clone)]
+pub struct OnlineLoopConfig {
+    /// Master seed: stream, trainer, impostor inits all derive from it.
+    pub seed: u64,
+    /// Architecture/optimizer config for the model and every restore.
+    pub model: ModelConfig,
+    /// Full offline epochs before the stream starts (generation 1).
+    pub warmup_epochs: usize,
+    /// Events per training micro-batch.
+    pub micro_batch: usize,
+    /// Training micro-batches per publish cycle.
+    pub train_batches_per_cycle: usize,
+    /// Events held out into the shadow window per cycle.
+    pub shadow_batch: usize,
+    /// Shadow window capacity (oldest events evicted beyond it).
+    pub shadow_capacity: usize,
+    /// Negatives per streamed positive.
+    pub negatives: usize,
+    /// Publish-gate policy.
+    pub gate: GateConfig,
+    /// Per-cycle fault schedule; its length is the number of cycles.
+    pub faults: FaultPlan,
+}
+
+impl OnlineLoopConfig {
+    /// A small, fast configuration for tests, CI smoke runs, and the
+    /// bench harness: 2 warmup epochs, 4 cycles with one injected
+    /// regression and one crash, ~384 training events per cycle.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            model: ModelConfig::test_small(),
+            warmup_epochs: 2,
+            micro_batch: 128,
+            train_batches_per_cycle: 3,
+            shadow_batch: 64,
+            shadow_capacity: 128,
+            negatives: 4,
+            // A 64-event window quantizes hit-rate in ~0.016 steps, so
+            // the default 0.01 tolerance is below one quantum and a
+            // single flipped event can veto a healthy candidate. Three
+            // quanta of slack keeps clean publishes flowing while an
+            // untrained impostor (tens of quanta worse) still rejects.
+            gate: GateConfig {
+                tolerance: 0.05,
+                ..GateConfig::default()
+            },
+            faults: FaultPlan::seeded(4, seed),
+        }
+    }
+}
+
+/// Terminal state of one publish cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleOutcome {
+    /// Gate accepted; the snapshot is confirmed serving.
+    Published,
+    /// Gate rejected; nothing was written, nothing reloaded.
+    Rejected,
+    /// Publisher crashed mid-write; serving tier untouched.
+    Crashed,
+}
+
+impl CycleOutcome {
+    /// Stable lowercase label for reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleOutcome::Published => "published",
+            CycleOutcome::Rejected => "rejected",
+            CycleOutcome::Crashed => "crashed",
+        }
+    }
+}
+
+/// One cycle's full audit trail.
+#[derive(Debug, Clone)]
+pub struct CycleRecord {
+    /// Cycle index, 0-based.
+    pub cycle: usize,
+    /// Fault injected this cycle.
+    pub fault: PublishFault,
+    /// What happened.
+    pub outcome: CycleOutcome,
+    /// Events trained this cycle.
+    pub events_trained: usize,
+    /// Mean micro-batch loss over the cycle.
+    pub loss: f32,
+    /// Candidate hit-rate on the shadow window.
+    pub candidate_hit_rate: f64,
+    /// Serving baseline hit-rate on the identical window.
+    pub baseline_hit_rate: f64,
+    /// Epoch the server reports serving *after* this cycle.
+    pub served_epoch: u64,
+    /// Write→confirmed-swap latency, only for published cycles.
+    pub publish_latency_us: Option<u64>,
+    /// Ingest-start → cycle-end wall time: how stale this cycle's data
+    /// was by the time it could have influenced serving.
+    pub staleness_us: u64,
+}
+
+/// The whole run's results.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Per-cycle records, in order.
+    pub cycles: Vec<CycleRecord>,
+    /// Events ingested into training across all cycles.
+    pub events_ingested: usize,
+    /// Ingest+train throughput over the run's training time.
+    pub events_per_sec: f64,
+    /// Epoch serving when the loop ended.
+    pub final_served_epoch: u64,
+    /// Server-side successful reload count at loop end.
+    pub reloads_ok: u64,
+    /// Server-side failed reload count at loop end (0 unless a torn or
+    /// corrupt checkpoint reached the reload path — it never should).
+    pub reloads_failed: u64,
+}
+
+impl OnlineReport {
+    /// Cycles with the given outcome.
+    pub fn count(&self, outcome: CycleOutcome) -> usize {
+        self.cycles.iter().filter(|c| c.outcome == outcome).count()
+    }
+
+    /// The deterministic skeleton of the run: everything that must be
+    /// bit-identical between two same-seed runs (wall-clock fields
+    /// excluded). Two runs reproduce iff their signatures are equal.
+    pub fn signature(&self) -> Vec<(usize, &'static str, &'static str, u64, u64, u64)> {
+        self.cycles
+            .iter()
+            .map(|c| {
+                (
+                    c.cycle,
+                    c.fault.label(),
+                    c.outcome.label(),
+                    c.served_epoch,
+                    c.candidate_hit_rate.to_bits(),
+                    c.baseline_hit_rate.to_bits(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs the loop against an already-started server.
+///
+/// `model` must be the generation the server is currently serving (the
+/// warmed-up model whose checkpoint `ckpt` holds); the loop trains it
+/// incrementally and publishes through `ckpt`.
+pub fn run_online_loop(
+    dataset: &Arc<Dataset>,
+    split: &Arc<CrossingCitySplit>,
+    server: &Server,
+    ckpt: &Path,
+    model: &mut STTransRec,
+    config: &OnlineLoopConfig,
+) -> std::io::Result<OnlineReport> {
+    let publisher = Publisher::new(server.local_addr(), ckpt);
+    // The baseline mirrors what is serving: it starts as the published
+    // warmup generation and is refreshed from the checkpoint after every
+    // confirmed publish.
+    let mut baseline = STTransRec::new(dataset, split, config.model.clone());
+    baseline.restore(std::fs::File::open(ckpt)?)?;
+
+    let mut stream = CheckinStream::new(dataset, config.seed);
+    let mut trainer = IncrementalTrainer::new(dataset, config.negatives, config.seed ^ 0x7EA1);
+    let mut shadow = ShadowWindow::new(config.shadow_capacity);
+
+    let mut cycles = Vec::with_capacity(config.faults.len());
+    let mut events_ingested = 0usize;
+    let mut train_time = std::time::Duration::ZERO;
+
+    for cycle in 0..config.faults.len() {
+        let cycle_start = Instant::now();
+        let mut loss_sum = 0.0f32;
+        let mut events_trained = 0usize;
+        let train_start = Instant::now();
+        for _ in 0..config.train_batches_per_cycle {
+            let events = stream.next_batch(config.micro_batch);
+            let stats = trainer.ingest(model, dataset, &events);
+            loss_sum += stats.loss;
+            events_trained += stats.events;
+        }
+        train_time += train_start.elapsed();
+        events_ingested += events_trained;
+        // Held out: the trainer never sees these, the gate judges on them.
+        shadow.extend(&stream.next_batch(config.shadow_batch));
+
+        let fault = config.faults.fault_for(cycle);
+        // Under Regress the real candidate is swapped for an untrained
+        // impostor — the defended failure (a bad training run, a bug
+        // producing garbage weights) the gate exists to stop.
+        let impostor = (fault == PublishFault::Regress).then(|| {
+            let cfg = ModelConfig {
+                seed: config.seed ^ (cycle as u64).wrapping_add(0xBAD5EED),
+                ..config.model.clone()
+            };
+            STTransRec::new(dataset, split, cfg)
+        });
+        let candidate: &STTransRec = impostor.as_ref().unwrap_or(model);
+        let decision = gate(
+            candidate,
+            &baseline,
+            dataset,
+            &shadow,
+            &config.gate,
+            cycle as u64,
+        );
+
+        let (outcome, publish_latency_us) = if !decision.accept {
+            (CycleOutcome::Rejected, None)
+        } else {
+            match fault {
+                PublishFault::Crash => {
+                    publisher.crash_mid_publish(candidate)?;
+                    (CycleOutcome::Crashed, None)
+                }
+                _ => {
+                    let published = publisher.publish(candidate)?;
+                    baseline.restore(std::fs::File::open(ckpt)?)?;
+                    (
+                        CycleOutcome::Published,
+                        Some(published.latency.as_micros() as u64),
+                    )
+                }
+            }
+        };
+
+        cycles.push(CycleRecord {
+            cycle,
+            fault,
+            outcome,
+            events_trained,
+            loss: loss_sum / config.train_batches_per_cycle as f32,
+            candidate_hit_rate: decision.candidate.hit_rate,
+            baseline_hit_rate: decision.baseline.hit_rate,
+            served_epoch: publisher.served_epoch()?,
+            publish_latency_us,
+            staleness_us: cycle_start.elapsed().as_micros() as u64,
+        });
+    }
+
+    let metrics = server.engine().metrics();
+    use std::sync::atomic::Ordering::Relaxed;
+    Ok(OnlineReport {
+        cycles,
+        events_ingested,
+        events_per_sec: events_ingested as f64 / train_time.as_secs_f64().max(1e-9),
+        final_served_epoch: publisher.served_epoch()?,
+        reloads_ok: metrics.reloads_ok.load(Relaxed),
+        reloads_failed: metrics.reloads_failed.load(Relaxed),
+    })
+}
+
+/// Warm-up + serve + loop in one call: trains `config.warmup_epochs`
+/// offline, publishes generation 1 into `scratch/model.bin`, starts an
+/// embedded server on an ephemeral loopback port, runs the online loop
+/// against it, and shuts the server down. The checkpoint (and any torn
+/// crash file) stays in `scratch` for inspection.
+pub fn run_embedded(
+    dataset: &Arc<Dataset>,
+    split: &Arc<CrossingCitySplit>,
+    scratch: &Path,
+    config: &OnlineLoopConfig,
+) -> std::io::Result<OnlineReport> {
+    let ckpt = scratch.join("model.bin");
+    let mut model = STTransRec::new(dataset, split, config.model.clone());
+    for _ in 0..config.warmup_epochs {
+        model.train_epoch(dataset);
+    }
+    st_tensor::save_params_atomic(model.params(), &ckpt)?;
+
+    let serve_config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let reloader = Reloader::new(dataset.clone(), split.clone(), config.model.clone(), &ckpt);
+    let serving = reloader.load()?;
+    let engine = Engine::new(dataset.clone(), serving, Some(reloader), &serve_config);
+    let server = Server::start(engine, &serve_config)?;
+
+    let report = run_online_loop(dataset, split, &server, &ckpt, &mut model, config);
+    server.shutdown();
+    report
+}

@@ -1,0 +1,143 @@
+//! Gated snapshot publishing against a running `st-serve` instance.
+//!
+//! A publish is two steps, each individually safe:
+//!
+//! 1. **Atomic checkpoint write** — [`st_tensor::save_params_atomic`]
+//!    puts the candidate's bytes in a same-directory temp file and
+//!    renames it over the serving checkpoint. A crash at any instant
+//!    leaves either the old checkpoint or the new one, never a torn mix.
+//! 2. **Reload RPC** — `POST /admin/reload` makes the server load the
+//!    checkpoint into a fresh frozen snapshot (with retrieval index) and
+//!    atomically swap it in, bumping the serving epoch.
+//!
+//! The publisher also reads the server's `/metrics` exposition to verify
+//! what is actually serving (epoch + last-reload timestamp) rather than
+//! trusting its own bookkeeping.
+
+use st_serve::client::HttpClient;
+use st_transrec_core::STTransRec;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Publishes candidate snapshots to one server + checkpoint path.
+pub struct Publisher {
+    addr: SocketAddr,
+    ckpt: PathBuf,
+}
+
+/// A confirmed publish.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishOutcome {
+    /// Serving epoch after the swap, as reported by the reload response.
+    pub epoch: u64,
+    /// Wall time from checkpoint write to confirmed swap.
+    pub latency: Duration,
+}
+
+impl Publisher {
+    /// A publisher for the server at `addr` reloading from `ckpt`.
+    pub fn new(addr: SocketAddr, ckpt: &Path) -> Self {
+        Self {
+            addr,
+            ckpt: ckpt.to_path_buf(),
+        }
+    }
+
+    /// The checkpoint path this publisher writes.
+    pub fn checkpoint(&self) -> &Path {
+        &self.ckpt
+    }
+
+    /// Atomically writes `model` to the checkpoint and swaps it into the
+    /// server, returning the confirmed new epoch.
+    pub fn publish(&self, model: &STTransRec) -> std::io::Result<PublishOutcome> {
+        let start = Instant::now();
+        st_tensor::save_params_atomic(model.params(), &self.ckpt)?;
+        let mut client = HttpClient::connect(self.addr)?;
+        let resp = client.post("/admin/reload")?;
+        if resp.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "reload rejected with {}: {}",
+                resp.status, resp.body
+            )));
+        }
+        let epoch = parse_field(&resp.body, "\"model_epoch\":").ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("no model_epoch in reload response: {}", resp.body),
+            )
+        })?;
+        Ok(PublishOutcome {
+            epoch,
+            latency: start.elapsed(),
+        })
+    }
+
+    /// Simulates the publisher dying mid-write: roughly half of the
+    /// candidate's serialized bytes land in a `.crash-` temp file beside
+    /// the checkpoint, no rename happens, no reload is issued. Returns
+    /// the torn file's path so tests can assert it is quarantined.
+    pub fn crash_mid_publish(&self, model: &STTransRec) -> std::io::Result<PathBuf> {
+        let mut bytes = Vec::new();
+        model.save(&mut bytes)?;
+        bytes.truncate(bytes.len() / 2);
+        let dir = self.ckpt.parent().unwrap_or_else(|| Path::new("."));
+        let torn = dir.join(format!(
+            ".{}.crash-{}",
+            self.ckpt
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "model".into()),
+            std::process::id()
+        ));
+        std::fs::write(&torn, &bytes)?;
+        Ok(torn)
+    }
+
+    /// The epoch the server is actually serving, per `/metrics`.
+    pub fn served_epoch(&self) -> std::io::Result<u64> {
+        self.scrape_gauge("st_serve_model_epoch ")
+    }
+
+    /// Unix seconds of the server's last successful (re)load.
+    pub fn last_reload_unix(&self) -> std::io::Result<u64> {
+        self.scrape_gauge("st_serve_last_reload_timestamp_seconds ")
+    }
+
+    fn scrape_gauge(&self, prefix: &str) -> std::io::Result<u64> {
+        let mut client = HttpClient::connect(self.addr)?;
+        let resp = client.get("/metrics")?;
+        resp.body
+            .lines()
+            .find_map(|l| l.strip_prefix(prefix))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("gauge {prefix:?} missing from /metrics"),
+                )
+            })
+    }
+}
+
+/// Extracts the integer following `key` in a JSON-ish body.
+fn parse_field(body: &str, key: &str) -> Option<u64> {
+    let rest = &body[body.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_field_reads_reload_body() {
+        assert_eq!(
+            parse_field("{\"reloaded\":true,\"model_epoch\":42}", "\"model_epoch\":"),
+            Some(42)
+        );
+        assert_eq!(parse_field("{}", "\"model_epoch\":"), None);
+    }
+}

@@ -1,0 +1,191 @@
+//! Held-out shadow window and the publish gate.
+//!
+//! The stream is split: most events train, a slice per cycle is held out
+//! into a bounded [`ShadowWindow`] the trainer never sees. Before a
+//! candidate snapshot may publish, [`gate`] shadow-evaluates it *and*
+//! the currently serving baseline on that window with identical seeded
+//! candidate sets ([`st_eval::evaluate_window`]) and accepts only if the
+//! candidate does not regress hit-rate beyond a tolerance. A rejected
+//! candidate is never written to the checkpoint and never served.
+
+use st_data::{Checkin, Dataset};
+use st_eval::{evaluate_window, Scorer, WindowEvalConfig, WindowReport};
+
+/// Bounded FIFO of the most recent held-out events.
+#[derive(Debug, Clone)]
+pub struct ShadowWindow {
+    capacity: usize,
+    events: Vec<Checkin>,
+}
+
+impl ShadowWindow {
+    /// An empty window keeping at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shadow window needs capacity");
+        Self {
+            capacity,
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends events, evicting the oldest beyond capacity.
+    pub fn extend(&mut self, events: &[Checkin]) {
+        self.events.extend_from_slice(events);
+        if self.events.len() > self.capacity {
+            let excess = self.events.len() - self.capacity;
+            self.events.drain(..excess);
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[Checkin] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Gate policy for publishing a candidate snapshot.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Shadow-evaluation protocol (negatives, k, base seed).
+    pub eval: WindowEvalConfig,
+    /// Additive slack: accept while `candidate + tolerance >= baseline`
+    /// on hit-rate, so sampling noise cannot starve publishing.
+    pub tolerance: f64,
+    /// Below this many held-out events the window is too thin to judge;
+    /// the gate accepts (publishes) rather than stalling on no evidence.
+    pub min_events: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            eval: WindowEvalConfig::default(),
+            tolerance: 0.01,
+            min_events: 16,
+        }
+    }
+}
+
+/// The gate's verdict, with both sides' evidence attached.
+#[derive(Debug, Clone, Copy)]
+pub struct GateDecision {
+    /// Shadow metrics of the candidate snapshot.
+    pub candidate: WindowReport,
+    /// Shadow metrics of the serving baseline on identical candidates.
+    pub baseline: WindowReport,
+    /// Whether the candidate may be published.
+    pub accept: bool,
+}
+
+/// Shadow-evaluates `candidate` against `baseline` on the window.
+///
+/// `cycle` perturbs the negative-sampling seed so successive gate checks
+/// do not reuse one fixed candidate set (a candidate could overfit it),
+/// while staying a pure function of `(config.eval.seed, cycle)` — the
+/// whole accept/reject sequence replays identically under a fixed seed.
+pub fn gate(
+    candidate: &dyn Scorer,
+    baseline: &dyn Scorer,
+    dataset: &Dataset,
+    window: &ShadowWindow,
+    config: &GateConfig,
+    cycle: u64,
+) -> GateDecision {
+    let eval = WindowEvalConfig {
+        seed: config.eval.seed ^ cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ..config.eval.clone()
+    };
+    let cand = evaluate_window(candidate, dataset, window.events(), &eval);
+    let base = evaluate_window(baseline, dataset, window.events(), &eval);
+    let accept =
+        window.len() < config.min_events || cand.hit_rate + config.tolerance >= base.hit_rate;
+    GateDecision {
+        candidate: cand,
+        baseline: base,
+        accept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::synth::{generate, CheckinStream, SynthConfig};
+    use st_data::{PoiId, UserId};
+
+    struct Flat(f32);
+    impl Scorer for Flat {
+        fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            vec![self.0; pois.len()]
+        }
+    }
+
+    /// Favors low POI ids — loses to the tie-scoring Flat baseline
+    /// whenever any sampled negative has a lower id than the truth.
+    struct ByIdAsc;
+    impl Scorer for ByIdAsc {
+        fn score_batch(&self, _user: UserId, pois: &[PoiId]) -> Vec<f32> {
+            pois.iter().map(|p| -(p.0 as f32)).collect()
+        }
+    }
+
+    #[test]
+    fn window_is_bounded_fifo() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let events = CheckinStream::new(&d, 3).next_batch(30);
+        let mut w = ShadowWindow::new(20);
+        w.extend(&events[..15]);
+        assert_eq!(w.len(), 15);
+        w.extend(&events[15..]);
+        assert_eq!(w.len(), 20, "capped at capacity");
+        assert_eq!(w.events(), &events[10..], "oldest evicted first");
+    }
+
+    #[test]
+    fn gate_rejects_regression_and_accepts_parity() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let mut w = ShadowWindow::new(64);
+        w.extend(&CheckinStream::new(&d, 4).next_batch(64));
+        let cfg = GateConfig::default();
+
+        // A flat scorer ties everything: the truth wins ties, so flat
+        // baseline = perfect hit rate; a low-id-favoring candidate loses
+        // whenever any negative id is below the truth's.
+        let regress = gate(&ByIdAsc, &Flat(0.0), &d, &w, &cfg, 1);
+        assert!(regress.candidate.hit_rate < regress.baseline.hit_rate);
+        assert!(!regress.accept, "regressing candidate must be rejected");
+
+        let parity = gate(&Flat(1.0), &Flat(0.0), &d, &w, &cfg, 1);
+        assert_eq!(parity.candidate.hit_rate, parity.baseline.hit_rate);
+        assert!(parity.accept, "parity within tolerance publishes");
+    }
+
+    #[test]
+    fn thin_window_accepts_and_decisions_replay() {
+        let (d, _) = generate(&SynthConfig::tiny());
+        let cfg = GateConfig::default();
+        let mut thin = ShadowWindow::new(64);
+        thin.extend(&CheckinStream::new(&d, 4).next_batch(4));
+        let d1 = gate(&ByIdAsc, &Flat(0.0), &d, &thin, &cfg, 0);
+        assert!(d1.accept, "too little evidence to block publishing");
+
+        let mut w = ShadowWindow::new(64);
+        w.extend(&CheckinStream::new(&d, 4).next_batch(64));
+        for cycle in 0..4 {
+            let a = gate(&ByIdAsc, &Flat(0.0), &d, &w, &cfg, cycle);
+            let b = gate(&ByIdAsc, &Flat(0.0), &d, &w, &cfg, cycle);
+            assert_eq!(a.accept, b.accept);
+            assert_eq!(a.candidate, b.candidate);
+            assert_eq!(a.baseline, b.baseline);
+        }
+    }
+}

@@ -147,6 +147,12 @@ pub struct Metrics {
     /// (no retrieval index for the city, retrieval disabled, or an
     /// unindexable query) — degraded-to-exact serving made observable.
     pub retrieval_fallback_total: AtomicU64,
+    /// Unix time (seconds) of the last successful model (re)load:
+    /// stamped at startup and on each accepted `/admin/reload`. Together
+    /// with `st_serve_model_epoch` this tells an online publisher — and
+    /// any staleness alert — exactly which generation is serving and how
+    /// long it has been serving it.
+    pub last_reload_unix: AtomicU64,
     /// Batch-size distribution.
     pub batch_size: Histogram<7>,
     /// Candidate-set-size distribution (POIs re-ranked per request).
@@ -255,6 +261,11 @@ impl Metrics {
         }
         let _ = writeln!(out, "st_serve_cache_hit_rate {}", self.cache_hit_rate());
         let _ = writeln!(out, "st_serve_model_epoch {model_epoch}");
+        let _ = writeln!(
+            out,
+            "st_serve_last_reload_timestamp_seconds {}",
+            self.last_reload_unix.load(Relaxed)
+        );
         let _ = writeln!(out, "st_serve_cache_entries {cache_len}");
         self.batch_size
             .render_into(&mut out, "st_serve_batch_size", &BATCH_BUCKETS);
@@ -379,6 +390,7 @@ mod tests {
         m.latency_us.observe(120, &LATENCY_BUCKETS_US);
         m.retrieval_fallback_total.fetch_add(4, Relaxed);
         m.candidate_size.observe(300, &CANDIDATE_BUCKETS);
+        m.last_reload_unix.store(1_700_000_000, Relaxed);
         let text = m.render(7, 42);
         assert!(text.contains("st_serve_requests_total{route=\"recommend\"} 2"));
         assert!(text.contains("st_serve_responses_total{class=\"2xx\"} 1"));
@@ -396,6 +408,7 @@ mod tests {
         assert!(text.contains("st_serve_request_latency_us_p99 250"));
         assert!(text.contains("st_serve_request_latency_us_count 1"));
         assert!(text.contains("st_serve_retrieval_fallback_total 4"));
+        assert!(text.contains("st_serve_last_reload_timestamp_seconds 1700000000"));
         assert!(text.contains("st_serve_candidate_set_size_bucket{le=\"512\"} 1"));
         assert!(text.contains("st_serve_candidate_set_size_count 1"));
     }

@@ -120,6 +120,14 @@ pub struct Engine {
     degrade_watermark: usize,
 }
 
+/// Seconds since the Unix epoch; 0 if the clock reads before 1970.
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
 impl Engine {
     /// Builds an engine around an already loaded model. `reloader` is
     /// `None` when no checkpoint path is configured (reload disabled).
@@ -134,6 +142,9 @@ impl Engine {
             None => ModelCell::new(model),
         });
         let metrics = Arc::new(Metrics::new());
+        metrics
+            .last_reload_unix
+            .store(unix_now(), Ordering::Relaxed);
         let batcher = MicroBatcher::start_with_faults(
             cell.clone(),
             metrics.clone(),
@@ -180,6 +191,9 @@ impl Engine {
         match reloader.reload_into(&self.cell) {
             Ok(epoch) => {
                 self.metrics.reloads_ok.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .last_reload_unix
+                    .store(unix_now(), Ordering::Relaxed);
                 Ok(epoch)
             }
             Err(e) => {

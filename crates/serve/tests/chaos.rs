@@ -283,6 +283,85 @@ fn hot_reload_mid_burst_loses_zero_requests() {
 }
 
 #[test]
+fn repeated_publishes_mid_burst_lose_zero_requests() {
+    // The online publisher's steady state: every few seconds a freshly
+    // trained checkpoint is written atomically and /admin/reload is
+    // posted while scoring traffic is in flight. Three consecutive
+    // publish cycles, each with five requests parked in the queue during
+    // the swap — every request must be served by exactly one generation.
+    let mut fx = fixture("repeat-publish");
+    let injector = Arc::new(FaultInjector::new(17));
+    let server = start_server(&fx, &chaos_config(&injector, 8));
+    let addr = server.local_addr();
+
+    for cycle in 1..=3u64 {
+        // Fresh users each cycle so the result cache cannot answer the
+        // burst before it reaches the queue (tiny has 60 users).
+        let users: Vec<(u32, usize)> = (0..5u32).map(|u| (cycle as u32 * 10 + u, 5)).collect();
+        let old_gen: Vec<String> = users
+            .iter()
+            .map(|&(u, k)| expected_body(&fx, u, k, cycle))
+            .collect();
+
+        // Next generation: one more epoch, published through the same
+        // atomic temp-file + rename path the online loop uses.
+        fx.oracle.train_epoch(&fx.dataset);
+        st_tensor::save_params_atomic(fx.oracle.params(), &fx.ckpt).expect("atomic publish");
+        let new_gen: Vec<String> = users
+            .iter()
+            .map(|&(u, k)| expected_body(&fx, u, k, cycle + 1))
+            .collect();
+
+        injector.freeze();
+        let outcomes = with_parked_requests(&server, &users, || {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            let reload = client.post("/admin/reload").expect("reload");
+            assert_eq!(reload.status, 200, "cycle {cycle}: {}", reload.body);
+            assert!(
+                reload
+                    .body
+                    .contains(&format!("\"model_epoch\":{}", cycle + 1)),
+                "cycle {cycle}: {}",
+                reload.body
+            );
+            injector.thaw();
+        });
+
+        for (i, (status, body)) in outcomes.iter().enumerate() {
+            assert_eq!(*status, 200, "cycle {cycle} request {i}: {body}");
+            assert!(
+                *body == old_gen[i] || *body == new_gen[i],
+                "cycle {cycle} request {i}: body matches neither generation: {body}"
+            );
+        }
+    }
+
+    // Conservation across all three publishes, and the publish trail is
+    // visible to operators: epoch 4 serving, three clean reloads, a
+    // last-reload timestamp an external staleness alert can key on.
+    let metrics = server.engine().metrics();
+    assert_eq!(metrics.reloads_ok.load(Ordering::Relaxed), 3);
+    assert_eq!(metrics.reloads_failed.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.shed_total.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.expired_total.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let scrape = client.get("/metrics").expect("metrics").body;
+    assert!(scrape.contains("st_serve_model_epoch 4"), "{scrape}");
+    let stamp: u64 = scrape
+        .lines()
+        .find_map(|l| l.strip_prefix("st_serve_last_reload_timestamp_seconds "))
+        .expect("timestamp gauge exported")
+        .trim()
+        .parse()
+        .expect("timestamp is an integer");
+    assert!(stamp > 0, "last-reload timestamp never stamped");
+
+    server.shutdown();
+}
+
+#[test]
 fn degraded_mode_serves_cached_results_under_overload() {
     let fx = fixture("degraded");
     let injector = Arc::new(FaultInjector::new(11));

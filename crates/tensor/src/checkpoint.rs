@@ -15,6 +15,7 @@
 
 use crate::{Matrix, ParamStore};
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"STPK";
 const VERSION: u32 = 1;
@@ -75,6 +76,52 @@ pub fn save_params<W: Write>(store: &ParamStore, mut out: W) -> std::io::Result<
         }
     }
     Ok(())
+}
+
+/// Writes a checkpoint to `path` crash-safely: the bytes go to a
+/// uniquely named temporary file in the *same directory* (rename is only
+/// atomic within one filesystem), are flushed and fsynced, and the file
+/// is then atomically renamed over `path`. A crash at any point leaves
+/// either the previous checkpoint or a stray `.tmp-*` file — never a
+/// torn checkpoint a serve-side watcher could load halfway written.
+pub fn save_params_atomic(store: &ParamStore, path: &Path) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(
+        ".{base}.tmp-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let write = || -> std::io::Result<()> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut out = std::io::BufWriter::new(file);
+        save_params(store, &mut out)?;
+        out.flush()?;
+        // Durability before visibility: the data must hit disk before the
+        // rename makes it the checkpoint.
+        out.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    let result = write();
+    if result.is_err() {
+        // Best-effort cleanup; the temp name is unique so a leftover can
+        // never be mistaken for (or renamed over) a real checkpoint.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads a checkpoint into a fresh [`ParamStore`], preserving parameter
@@ -182,6 +229,49 @@ mod tests {
         buf[4] = 99; // clobber version
         let err = load_params(buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::Version(99)));
+    }
+
+    #[test]
+    fn atomic_save_roundtrips_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "st-tensor-ckpt-atomic-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+
+        let store = sample_store();
+        save_params_atomic(&store, &path).unwrap();
+        let loaded = load_params(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+
+        // Overwriting an existing checkpoint also goes through the
+        // temp+rename path and replaces it completely.
+        save_params_atomic(&store, &path).unwrap();
+        let reloaded = load_params(std::fs::File::open(&path).unwrap()).unwrap();
+        for ((_, name_a, val_a), (_, name_b, val_b)) in store.iter().zip(reloaded.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(val_a, val_b);
+        }
+
+        // No stray temporaries after successful writes.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_save_into_missing_directory_fails_cleanly() {
+        let path = std::env::temp_dir()
+            .join(format!("st-tensor-ckpt-noexist-{}", std::process::id()))
+            .join("sub")
+            .join("model.bin");
+        assert!(save_params_atomic(&sample_store(), &path).is_err());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod optim;
 pub mod params;
 pub mod pool;
 
-pub use checkpoint::{load_params, save_params, CheckpointError};
+pub use checkpoint::{load_params, save_params, save_params_atomic, CheckpointError};
 pub use grad_check::{assert_gradients_close, check_gradients, GradCheckReport};
 pub use infer::InferCtx;
 pub use init::Init;
