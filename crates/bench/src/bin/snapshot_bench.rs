@@ -1,0 +1,74 @@
+//! Quantized-snapshot benchmark binary (PR 9).
+//!
+//! Runs the v2-container suite in [`st_bench::snapshot_perf`] — bytes
+//! per row for each encoding, top-10 overlap of f16/int8 against the
+//! f32 oracle, dequantize-on-gather throughput, and mmap-reload versus
+//! v1 read-and-parse latency — and writes the report to
+//! `BENCH_PR9.json` at the repo root (override the path with
+//! `ST_BENCH_OUT`, the table sizes with a comma-separated
+//! `ST_BENCH_ROWS`).
+//!
+//! `--smoke` runs the CI variant: one 50k-row table, the same 0.99
+//! overlap gate, and a loose 3x reload floor. The full run sweeps
+//! 10k/50k/200k-row tables and demands >= 10x mmap reload speedup at
+//! the largest size.
+//!
+//! Build with `--release`: a debug build measures nothing meaningful.
+
+use st_bench::snapshot_perf::{run_snapshot_suite, SnapshotPerfOptions};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut opts = if smoke {
+        SnapshotPerfOptions::smoke()
+    } else {
+        SnapshotPerfOptions::full()
+    };
+    if let Ok(rows) = std::env::var("ST_BENCH_ROWS") {
+        let parsed: Vec<usize> = rows
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&r| r >= 16)
+            .collect();
+        if !parsed.is_empty() {
+            opts.table_rows = parsed;
+        }
+    }
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json"))
+        });
+
+    eprintln!(
+        "running snapshot perf suite ({} mode, table sizes {:?}, dim {})...",
+        if smoke { "smoke" } else { "full" },
+        opts.table_rows,
+        opts.dim
+    );
+    let report = run_snapshot_suite(&opts);
+
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: min overlap@10 {:.4} (floor {:.2}); mmap reload {:.1}x faster than v1 parse \
+         at {} rows (floor {:.0}x)",
+        a.min_overlap_top10,
+        a.overlap_floor,
+        a.gate_reload_speedup,
+        a.gate_table_rows,
+        a.reload_speedup_floor
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write snapshot perf report");
+    eprintln!("wrote {}", out_path.display());
+
+    let violations = report.violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("WARNING: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -159,9 +159,7 @@ fn build_fixture(seed: u64) -> ChaosFixture {
     let dir = std::env::temp_dir().join(format!("st-chaos-{}-{seed}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create chaos scratch dir");
     let ckpt = dir.join("model.bin");
-    model
-        .save(std::fs::File::create(&ckpt).expect("create ckpt"))
-        .expect("save ckpt");
+    st_tensor::save_params_atomic(model.params(), &ckpt).expect("save ckpt");
     ChaosFixture {
         dataset,
         split,

@@ -22,6 +22,7 @@ pub mod perf;
 pub mod retrieval_perf;
 pub mod runner;
 pub mod serve_load;
+pub mod snapshot_perf;
 pub mod table;
 pub mod train_perf;
 

@@ -156,9 +156,7 @@ fn build_fixture() -> LoadFixture {
     let dir = std::env::temp_dir().join(format!("st-serve-loadgen-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create loadgen scratch dir");
     let ckpt = dir.join("model.bin");
-    model
-        .save(std::fs::File::create(&ckpt).expect("create ckpt"))
-        .expect("save ckpt");
+    st_tensor::save_params_atomic(model.params(), &ckpt).expect("save ckpt");
     LoadFixture {
         dataset,
         split,

@@ -29,7 +29,7 @@ use crate::snapshot::ModelSnapshot;
 use st_data::{CityId, Dataset, PoiId, UserId};
 use st_eval::Scorer;
 use st_geo::{Grid, GridCell};
-use st_tensor::{ops, InferCtx, Matrix};
+use st_tensor::{ops, InferCtx, Matrix, RowSource};
 use std::collections::{HashMap, HashSet};
 
 /// Knobs trading recall for latency. Defaults are the shipped serving
@@ -202,12 +202,14 @@ impl RetrievalIndex {
             .unwrap_or(0);
         let default_anchor = grid.cell_from_flat(busiest);
 
-        // IVF: k-means over the catalog's frozen embedding rows.
+        // IVF: k-means over the catalog's frozen embedding rows, probed
+        // straight out of whatever representation the snapshot holds —
+        // quantized rows dequantize during this gather and nowhere else.
         let table = frozen.poi_table();
         let dim = table.cols();
         let mut points = Matrix::zeros(catalog.len(), dim);
         for (r, &poi) in catalog.iter().enumerate() {
-            points.row_mut(r).copy_from_slice(table.row(poi.idx()));
+            table.copy_row_into(poi.idx(), points.row_mut(r));
         }
         let k = ((2.0 * (catalog.len() as f64).sqrt()) as usize)
             .clamp(1, cfg.max_centroids.max(1))

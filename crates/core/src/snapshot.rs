@@ -9,11 +9,21 @@
 //! path: capture copies parameters verbatim and both executors run the
 //! same shared op layer, so a hot-swapped snapshot answers byte-for-byte
 //! like the model it was captured from.
+//!
+//! Since the v2 snapshot container, the embedding tables are held as
+//! [`TableStorage`] rather than owned matrices: a snapshot may gather
+//! straight out of f16/int8 quantized rows or a memory-mapped checkpoint
+//! ([`ModelSnapshot::from_mapped`]) with dequantization fused into the
+//! gather. Live-capture snapshots keep owned f32 tables and the exact
+//! bit-identity guarantee; quantized snapshots trade bounded per-row
+//! error for 2–4x fewer resident bytes, policed by the top-k overlap
+//! differential gates in this module's tests.
 
 use crate::STTransRec;
 use st_data::{PoiId, UserId};
 use st_eval::Scorer;
-use st_tensor::{Activation, InferCtx, Matrix};
+use st_tensor::checkpoint::MappedParams;
+use st_tensor::{Activation, InferCtx, Matrix, StorageEncoding, TableStorage};
 
 /// Why a pair-scoring request was rejected before any compute ran.
 ///
@@ -82,15 +92,16 @@ impl std::error::Error for PredictError {}
 /// trains on.
 #[derive(Debug, Clone)]
 pub struct ModelSnapshot {
-    user_table: Matrix,
-    poi_table: Matrix,
+    user_table: TableStorage,
+    poi_table: TableStorage,
     /// The tower's `(weight, bias)` pairs, first layer to last.
     layers: Vec<(Matrix, Matrix)>,
     activation: Activation,
 }
 
 impl ModelSnapshot {
-    /// Copies the current parameters of `model` into a frozen snapshot.
+    /// Copies the current parameters of `model` into a frozen snapshot
+    /// (owned f32 tables — the lossless live-capture path).
     pub fn capture(model: &STTransRec) -> Self {
         let store = model.params();
         let layers = model
@@ -100,11 +111,114 @@ impl ModelSnapshot {
             .map(|l| (store.get(l.weight()).clone(), store.get(l.bias()).clone()))
             .collect();
         Self {
-            user_table: store.get(model.user_emb().table()).clone(),
-            poi_table: store.get(model.poi_emb().table()).clone(),
+            user_table: TableStorage::F32(store.get(model.user_emb().table()).clone()),
+            poi_table: TableStorage::F32(store.get(model.poi_emb().table()).clone()),
             layers,
             activation: model.tower().activation(),
         }
+    }
+
+    /// Assembles a snapshot from already-validated pieces: embedding
+    /// tables in any [`TableStorage`] representation plus the tower's
+    /// `(weight, bias)` pairs. Shape coherence is checked here so a
+    /// malformed checkpoint cannot produce a snapshot that panics later
+    /// inside a gather.
+    pub fn from_parts(
+        user_table: TableStorage,
+        poi_table: TableStorage,
+        layers: Vec<(Matrix, Matrix)>,
+        activation: Activation,
+    ) -> std::io::Result<Self> {
+        let bad = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        if layers.is_empty() {
+            return Err(bad("snapshot needs at least one tower layer".into()));
+        }
+        let mut width = user_table.cols() + poi_table.cols();
+        for (i, (w, b)) in layers.iter().enumerate() {
+            if w.rows() != width {
+                return Err(bad(format!(
+                    "tower layer {i}: weight expects {} inputs, got {width}",
+                    w.rows()
+                )));
+            }
+            if b.rows() != 1 || b.cols() != w.cols() {
+                return Err(bad(format!(
+                    "tower layer {i}: bias shape {:?} does not match width {}",
+                    b.shape(),
+                    w.cols()
+                )));
+            }
+            width = w.cols();
+        }
+        if width != 1 {
+            return Err(bad(format!(
+                "tower must end in a single logit, ends in {width}"
+            )));
+        }
+        Ok(Self {
+            user_table,
+            poi_table,
+            layers,
+            activation,
+        })
+    }
+
+    /// Reconstructs a serving snapshot straight from a mapped (or
+    /// owned-parse) v2 checkpoint — no [`STTransRec`], no training
+    /// state, no table decode. Embedding tables stay in whatever
+    /// representation the checkpoint stores (quantized rows gather
+    /// fused-dequantized; mapped f32 gathers zero-copy); the small dense
+    /// tower layers are decoded to owned matrices. The tower activation
+    /// is ReLU, the only activation the model constructor emits.
+    pub fn from_mapped(params: &MappedParams) -> std::io::Result<Self> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let user_table = params
+            .get("user_emb")
+            .ok_or_else(|| bad("checkpoint has no user_emb table"))?
+            .clone();
+        let poi_table = params
+            .get("poi_emb")
+            .ok_or_else(|| bad("checkpoint has no poi_emb table"))?
+            .clone();
+        let mut layers = Vec::new();
+        for i in 0.. {
+            let (Some(w), Some(b)) = (
+                params.matrix(&format!("tower.{i}.w")),
+                params.matrix(&format!("tower.{i}.b")),
+            ) else {
+                break;
+            };
+            layers.push((w, b));
+        }
+        Self::from_parts(user_table, poi_table, layers, Activation::Relu)
+    }
+
+    /// Re-encodes the embedding tables into `encoding` (the tower stays
+    /// f32), e.g. to serve int8 from a snapshot captured live.
+    pub fn quantized(&self, encoding: StorageEncoding) -> Self {
+        let requant = |t: &TableStorage| TableStorage::encode(&t.to_matrix(), encoding);
+        Self {
+            user_table: requant(&self.user_table),
+            poi_table: requant(&self.poi_table),
+            layers: self.layers.clone(),
+            activation: self.activation,
+        }
+    }
+
+    /// The storage encoding of the embedding tables.
+    pub fn encoding(&self) -> StorageEncoding {
+        self.poi_table.encoding()
+    }
+
+    /// Bytes of embedding-table storage this snapshot holds (or maps).
+    pub fn table_bytes(&self) -> usize {
+        self.user_table.stored_bytes() + self.poi_table.stored_bytes()
+    }
+
+    /// True when the tables are served out of a memory-mapped
+    /// checkpoint rather than owned buffers.
+    pub fn is_mapped(&self) -> bool {
+        self.user_table.is_mapped() || self.poi_table.is_mapped()
     }
 
     /// Number of users the snapshot can score.
@@ -118,8 +232,10 @@ impl ModelSnapshot {
     }
 
     /// The frozen city-independent POI embedding table (one row per
-    /// POI) — the vectors the IVF coarse index quantizes.
-    pub fn poi_table(&self) -> &Matrix {
+    /// POI) in its storage representation — the vectors the IVF coarse
+    /// index quantizes, gathered via [`st_tensor::RowSource`] so index
+    /// build works unchanged over quantized or mapped tables.
+    pub fn poi_table(&self) -> &TableStorage {
         &self.poi_table
     }
 
@@ -390,7 +506,7 @@ mod tests {
         // Scoring the full POI table as an "arbitrary matrix" must be
         // bit-identical to the indexed predict path over the same rows.
         let via_rows = {
-            let table = snap.poi_table().clone();
+            let table = snap.poi_table().to_matrix();
             let sub = st_tensor::Matrix::from_vec(
                 n,
                 table.cols(),

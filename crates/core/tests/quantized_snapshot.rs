@@ -1,0 +1,175 @@
+//! Differential gates for quantized and memory-mapped snapshots.
+//!
+//! The v2 snapshot container may store embedding tables as f16 or int8;
+//! serving then gathers straight from quantized rows. These tests police
+//! the two promises that make that safe to ship:
+//!
+//! 1. **Ranking fidelity** — top-10 recommendations from f16/int8
+//!    snapshots overlap the f32 oracle's top-10 at >= 0.99 on a trained
+//!    fixture (the acceptance gate of the quantized-snapshot work).
+//! 2. **Path equivalence** — a snapshot reconstructed from a v2
+//!    checkpoint ([`ModelSnapshot::from_mapped`]) scores bit-identically
+//!    to one quantized in memory from the same parameters, and the f32
+//!    v2 round-trip is bit-identical to live capture. Quantization
+//!    happens in exactly one place, so there is nothing to drift.
+
+use st_data::synth::{generate, SynthConfig};
+use st_data::{CityId, CrossingCitySplit, Dataset, PoiId};
+use st_eval::Scorer;
+use st_tensor::checkpoint::MappedParams;
+use st_tensor::StorageEncoding;
+use st_transrec_core::{
+    recommend_top_k, retrieval_recall_at_k, ModelConfig, ModelSnapshot, RetrievalConfig,
+    RetrievalIndex, STTransRec,
+};
+use std::collections::HashSet;
+
+fn trained() -> (Dataset, CrossingCitySplit, STTransRec) {
+    let cfg = SynthConfig::tiny();
+    let (dataset, _) = generate(&cfg);
+    let split = CrossingCitySplit::build(&dataset, CityId(cfg.target_city as u16));
+    let mut model = STTransRec::new(&dataset, &split, ModelConfig::test_small());
+    for _ in 0..3 {
+        model.train_epoch(&dataset);
+    }
+    (dataset, split, model)
+}
+
+fn top10(
+    snap: &ModelSnapshot,
+    dataset: &Dataset,
+    split: &CrossingCitySplit,
+    user: st_data::UserId,
+) -> HashSet<PoiId> {
+    recommend_top_k(snap, dataset, user, split.target_city, 10, &[])
+        .into_iter()
+        .map(|r| r.poi)
+        .collect()
+}
+
+/// The acceptance gate: mean top-10 overlap of each lossy encoding
+/// against the f32 oracle across every test user must reach 0.99.
+#[test]
+fn quantized_topk_overlap_meets_the_gate() {
+    let (dataset, split, model) = trained();
+    let oracle = model.snapshot();
+    for encoding in [StorageEncoding::F16, StorageEncoding::I8] {
+        let quant = oracle.quantized(encoding);
+        assert_eq!(quant.encoding(), encoding);
+        let mut overlap_sum = 0.0f64;
+        for &user in &split.test_users {
+            let want = top10(&oracle, &dataset, &split, user);
+            let got = top10(&quant, &dataset, &split, user);
+            overlap_sum += want.intersection(&got).count() as f64 / want.len().max(1) as f64;
+        }
+        let mean = overlap_sum / split.test_users.len() as f64;
+        assert!(
+            mean >= 0.99,
+            "{encoding}: mean top-10 overlap {mean:.4} below the 0.99 gate"
+        );
+    }
+}
+
+/// f16 and int8 shrink table bytes by exactly 2x and ~4x (plus one f32
+/// scale per row) relative to f32 — the memory-footprint claim README
+/// documents.
+#[test]
+fn quantized_tables_shrink_as_documented() {
+    let (_, _, model) = trained();
+    let snap = model.snapshot();
+    let f32_bytes = snap.table_bytes();
+    let rows = snap.num_users() + snap.num_pois();
+    assert_eq!(
+        snap.quantized(StorageEncoding::F16).table_bytes() * 2,
+        f32_bytes
+    );
+    assert_eq!(
+        snap.quantized(StorageEncoding::I8).table_bytes(),
+        f32_bytes / 4 + rows * 4
+    );
+}
+
+/// A v2 checkpoint parsed back into a snapshot must score byte-for-byte
+/// like the equivalent in-memory snapshot: f32 vs live capture, and each
+/// lossy encoding vs `quantized()` over the same parameters.
+#[test]
+fn mapped_snapshot_scores_bit_identically_to_in_memory() {
+    let (dataset, split, model) = trained();
+    let capture = model.snapshot();
+    let pois = dataset.pois_in_city(split.target_city);
+    let user = split.test_users[0];
+    for encoding in [
+        StorageEncoding::F32,
+        StorageEncoding::F16,
+        StorageEncoding::I8,
+    ] {
+        let mut buf = Vec::new();
+        st_tensor::save_params_v2(model.params(), encoding, &mut buf).unwrap();
+        let mapped = MappedParams::from_owned(buf).unwrap();
+        let restored = ModelSnapshot::from_mapped(&mapped).unwrap();
+        assert_eq!(restored.encoding(), encoding);
+        let want = match encoding {
+            StorageEncoding::F32 => capture.score_batch(user, pois),
+            lossy => capture.quantized(lossy).score_batch(user, pois),
+        };
+        assert_eq!(
+            restored.score_batch(user, pois),
+            want,
+            "{encoding}: mapped snapshot diverged from the in-memory path"
+        );
+    }
+}
+
+/// The IVF retrieval index builds straight from quantized POI rows and
+/// keeps its recall against the (same-encoding) exact scan.
+#[test]
+fn retrieval_index_builds_from_quantized_tables() {
+    let (dataset, split, model) = trained();
+    let quant = model.snapshot().quantized(StorageEncoding::I8);
+    let cfg = RetrievalConfig {
+        min_catalog: 1,
+        ..RetrievalConfig::default()
+    };
+    let index = RetrievalIndex::build(&quant, &dataset, cfg);
+    assert!(index.num_indexed_cities() > 0, "nothing indexed");
+    let recall = retrieval_recall_at_k(
+        &quant,
+        &index,
+        &dataset,
+        &split.test_users,
+        split.target_city,
+        10,
+    );
+    assert!(
+        recall >= 0.95,
+        "retrieval over int8 tables lost recall: {recall:.4}"
+    );
+}
+
+/// Malformed checkpoints cannot become snapshots: missing tables and
+/// incoherent tower shapes are rejected with clean errors.
+#[test]
+fn from_mapped_rejects_malformed_stores() {
+    use st_tensor::{Init, ParamStore};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    use rand::SeedableRng;
+
+    // No user_emb at all.
+    let mut store = ParamStore::new();
+    store.register("poi_emb", 4, 8, Init::Zeros, &mut rng);
+    let mut buf = Vec::new();
+    st_tensor::save_params_v2(&store, StorageEncoding::F32, &mut buf).unwrap();
+    let mapped = MappedParams::from_owned(buf).unwrap();
+    assert!(ModelSnapshot::from_mapped(&mapped).is_err());
+
+    // Tables present but the tower's first layer expects the wrong width.
+    let mut store = ParamStore::new();
+    store.register("user_emb", 4, 8, Init::Zeros, &mut rng);
+    store.register("poi_emb", 4, 8, Init::Zeros, &mut rng);
+    store.register("tower.0.w", 7, 1, Init::Zeros, &mut rng); // want 16 inputs
+    store.register("tower.0.b", 1, 1, Init::Zeros, &mut rng);
+    let mut buf = Vec::new();
+    st_tensor::save_params_v2(&store, StorageEncoding::F32, &mut buf).unwrap();
+    let mapped = MappedParams::from_owned(buf).unwrap();
+    assert!(ModelSnapshot::from_mapped(&mapped).is_err());
+}

@@ -18,6 +18,7 @@ use st_data::synth::CheckinStream;
 use st_data::{CrossingCitySplit, Dataset};
 use st_serve::server::{Engine, ServeConfig, Server};
 use st_serve::snapshot::Reloader;
+use st_tensor::StorageEncoding;
 use st_transrec_core::{ModelConfig, STTransRec};
 use std::path::Path;
 use std::sync::Arc;
@@ -46,6 +47,9 @@ pub struct OnlineLoopConfig {
     pub gate: GateConfig,
     /// Per-cycle fault schedule; its length is the number of cycles.
     pub faults: FaultPlan,
+    /// v2 container encoding for every published checkpoint: f32 by
+    /// default, f16/int8 to shrink what the serving tier maps.
+    pub snapshot_format: StorageEncoding,
 }
 
 impl OnlineLoopConfig {
@@ -72,6 +76,7 @@ impl OnlineLoopConfig {
                 ..GateConfig::default()
             },
             faults: FaultPlan::seeded(4, seed),
+            snapshot_format: StorageEncoding::F32,
         }
     }
 }
@@ -181,7 +186,7 @@ pub fn run_online_loop(
     model: &mut STTransRec,
     config: &OnlineLoopConfig,
 ) -> std::io::Result<OnlineReport> {
-    let publisher = Publisher::new(server.local_addr(), ckpt);
+    let publisher = Publisher::new(server.local_addr(), ckpt).with_format(config.snapshot_format);
     // The baseline mirrors what is serving: it starts as the published
     // warmup generation and is refreshed from the checkpoint after every
     // confirmed publish.
@@ -294,15 +299,21 @@ pub fn run_embedded(
     for _ in 0..config.warmup_epochs {
         model.train_epoch(dataset);
     }
-    st_tensor::save_params_atomic(model.params(), &ckpt)?;
+    st_tensor::save_params_atomic_as(model.params(), &ckpt, config.snapshot_format)?;
 
     let serve_config = ServeConfig {
         workers: 2,
         ..ServeConfig::default()
     };
     let reloader = Reloader::new(dataset.clone(), split.clone(), config.model.clone(), &ckpt);
-    let serving = reloader.load()?;
-    let engine = Engine::new(dataset.clone(), serving, Some(reloader), &serve_config);
+    let (frozen, snapshot_bytes) = reloader.load_frozen()?;
+    let engine = Engine::new_frozen(
+        dataset.clone(),
+        frozen,
+        snapshot_bytes,
+        Some(reloader),
+        &serve_config,
+    );
     let server = Server::start(engine, &serve_config)?;
 
     let report = run_online_loop(dataset, split, &server, &ckpt, &mut model, config);

@@ -568,7 +568,7 @@ mod tests {
                 let (user, reply) = h.join().unwrap();
                 assert_eq!(reply.epoch, 1);
                 let expected =
-                    recommend_top_k(&cell.current().model, &d, user, split.target_city, 5, &[]);
+                    recommend_top_k(&cell.current().frozen, &d, user, split.target_city, 5, &[]);
                 assert_eq!(reply.recs, expected, "user {user:?}");
             }
         });
@@ -654,7 +654,7 @@ mod tests {
             assert_eq!(bad_poi.join().unwrap(), Err(SubmitError::InvalidRequest));
             let reply = good.join().unwrap().expect("valid batchmate served");
             let expected = recommend_top_k(
-                &cell.current().model,
+                &cell.current().frozen,
                 &d,
                 good_user,
                 split.target_city,

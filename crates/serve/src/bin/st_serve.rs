@@ -19,6 +19,7 @@ use st_data::{synth, CityId, CrossingCitySplit, Dataset};
 use st_serve::server::{Engine, ServeConfig, Server};
 use st_serve::snapshot::Reloader;
 use st_serve::BatchConfig;
+use st_tensor::StorageEncoding;
 use st_transrec_core::{ModelConfig, RetrievalConfig, STTransRec};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -41,6 +42,7 @@ struct Args {
     config: String,
     embedding_dim: Option<usize>,
     demo_epochs: usize,
+    snapshot_format: StorageEncoding,
     max_candidates: usize,
     nprobe: usize,
     grid_rings: usize,
@@ -65,6 +67,7 @@ impl Default for Args {
             config: "test-small".into(),
             embedding_dim: None,
             demo_epochs: 1,
+            snapshot_format: StorageEncoding::F32,
             max_candidates: RetrievalConfig::default().max_candidates,
             nprobe: RetrievalConfig::default().nprobe,
             grid_rings: RetrievalConfig::default().grid_rings,
@@ -80,7 +83,8 @@ USAGE:
 
 OPTIONS:
   --data FILE             dataset in the st-data text format
-  --checkpoint FILE       model checkpoint (STTransRec::save format)
+  --checkpoint FILE       model checkpoint (v2 containers are served
+                          memory-mapped; legacy v1 is parsed)
   --addr HOST:PORT        bind address      [default: 127.0.0.1:8080]
   --target-city ID        held-out target city id          [default: 1]
   --workers N             HTTP worker threads              [default: 4]
@@ -106,6 +110,8 @@ OPTIONS:
   --embedding-dim D       override the preset's embedding size
   --gen-demo DIR          write DIR/checkins.tsv + DIR/model.bin and exit
   --demo-epochs N         training epochs for --gen-demo   [default: 1]
+  --snapshot-format F     demo checkpoint encoding: f32 | f16 | int8
+                                                         [default: f32]
   --help                  print this help
 ";
 
@@ -200,6 +206,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| fail("--demo-epochs must be an integer"))
             }
+            "--snapshot-format" => {
+                args.snapshot_format = value("--snapshot-format")
+                    .parse()
+                    .unwrap_or_else(|e: String| fail(&e))
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -226,7 +237,7 @@ fn model_config(args: &Args) -> ModelConfig {
 }
 
 /// Writes a runnable demo: tiny synthetic dataset + trained checkpoint.
-fn gen_demo(dir: &PathBuf, epochs: usize) -> std::io::Result<()> {
+fn gen_demo(dir: &PathBuf, epochs: usize, format: StorageEncoding) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let synth_config = synth::SynthConfig::tiny();
     let (dataset, _) = synth::generate(&synth_config);
@@ -245,7 +256,7 @@ fn gen_demo(dir: &PathBuf, epochs: usize) -> std::io::Result<()> {
         model.train_epoch(&dataset);
     }
     let ckpt_path = dir.join("model.bin");
-    model.save(std::io::BufWriter::new(std::fs::File::create(&ckpt_path)?))?;
+    st_tensor::save_params_atomic_as(model.params(), &ckpt_path, format)?;
 
     eprintln!(
         "wrote {} and {}\nserve it with:\n  st-serve --data {} --checkpoint {} --target-city {}",
@@ -269,7 +280,7 @@ fn main() {
     let args = parse_args();
 
     if let Some(dir) = &args.gen_demo {
-        gen_demo(dir, args.demo_epochs.max(1))
+        gen_demo(dir, args.demo_epochs.max(1), args.snapshot_format)
             .unwrap_or_else(|e| fail(&format!("demo generation failed: {e}")));
         return;
     }
@@ -298,9 +309,13 @@ fn main() {
 
     let reloader = Reloader::new(dataset.clone(), split.clone(), config.clone(), ckpt_path);
     eprintln!("loading checkpoint {}...", ckpt_path.display());
-    let model = reloader
-        .load()
+    // v2 containers are memory-mapped (zero-copy, no training state);
+    // v1 falls back to rebuild-and-restore inside `load_frozen`.
+    let (frozen, snapshot_bytes) = reloader
+        .load_frozen()
         .unwrap_or_else(|e| fail(&format!("cannot load checkpoint: {e}")));
+    let snapshot_format = frozen.encoding();
+    let snapshot_mapped = frozen.is_mapped();
 
     let serve_config = ServeConfig {
         addr: args.addr.clone(),
@@ -324,7 +339,13 @@ fn main() {
         }),
         ..ServeConfig::default()
     };
-    let engine = Engine::new(dataset.clone(), model, Some(reloader), &serve_config);
+    let engine = Engine::new_frozen(
+        dataset.clone(),
+        frozen,
+        snapshot_bytes,
+        Some(reloader),
+        &serve_config,
+    );
     let server = Server::start(engine, &serve_config)
         .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", args.addr)));
 
@@ -335,6 +356,14 @@ fn main() {
         dataset.num_pois(),
         dataset.cities().len(),
         target.0,
+    );
+    eprintln!(
+        "snapshot: {snapshot_format} encoding, {snapshot_bytes} bytes{}",
+        if snapshot_mapped {
+            ", memory-mapped"
+        } else {
+            ", in-memory"
+        },
     );
     eprintln!(
         "routes: GET /recommend?user=U&city=C&k=K | GET /healthz | GET /metrics | POST /admin/reload"

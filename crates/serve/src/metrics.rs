@@ -5,6 +5,7 @@
 //! Prometheus style (`le` upper bounds, `+Inf` implicit in `_count`),
 //! so `GET /metrics` renders without stopping the request path.
 
+use st_tensor::StorageEncoding;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Upper bounds (inclusive) of the request-latency buckets, microseconds.
@@ -153,6 +154,18 @@ pub struct Metrics {
     /// any staleness alert — exactly which generation is serving and how
     /// long it has been serving it.
     pub last_reload_unix: AtomicU64,
+    /// Bytes backing the serving snapshot (container size for mapped v2
+    /// checkpoints, resident table bytes for live captures). Stamped at
+    /// startup and on each accepted reload; exported as
+    /// `st_serve_snapshot_bytes`.
+    pub snapshot_bytes: AtomicU64,
+    /// [`StorageEncoding::code`] of the serving snapshot's tables,
+    /// exported as the one-hot `st_serve_snapshot_format{format=...}`
+    /// family. Stamped alongside `snapshot_bytes`.
+    pub snapshot_format: AtomicU64,
+    /// 1 when the serving snapshot reads its tables out of a
+    /// memory-mapped checkpoint (zero-copy reload), else 0.
+    pub snapshot_mapped: AtomicU64,
     /// Batch-size distribution.
     pub batch_size: Histogram<7>,
     /// Candidate-set-size distribution (POIs re-ranked per request).
@@ -175,6 +188,15 @@ impl Metrics {
             _ => &self.responses_5xx,
         };
         counter.fetch_add(1, Relaxed);
+    }
+
+    /// Stamps the snapshot gauges for the generation that just became
+    /// current — called at startup and after each accepted reload.
+    pub fn stamp_snapshot(&self, format: StorageEncoding, bytes: u64, mapped: bool) {
+        self.snapshot_format
+            .store(u64::from(format.code()), Relaxed);
+        self.snapshot_bytes.store(bytes, Relaxed);
+        self.snapshot_mapped.store(u64::from(mapped), Relaxed);
     }
 
     /// Cache hit rate over all lookups so far, in [0, 1].
@@ -267,6 +289,30 @@ impl Metrics {
             self.last_reload_unix.load(Relaxed)
         );
         let _ = writeln!(out, "st_serve_cache_entries {cache_len}");
+        let _ = writeln!(
+            out,
+            "st_serve_snapshot_bytes {}",
+            self.snapshot_bytes.load(Relaxed)
+        );
+        // One-hot across the known encodings, so dashboards can match on
+        // a stable label instead of decoding an integer.
+        let current = self.snapshot_format.load(Relaxed);
+        for format in [
+            StorageEncoding::F32,
+            StorageEncoding::F16,
+            StorageEncoding::I8,
+        ] {
+            let _ = writeln!(
+                out,
+                "st_serve_snapshot_format{{format=\"{format}\"}} {}",
+                u64::from(u64::from(format.code()) == current)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "st_serve_snapshot_mapped {}",
+            self.snapshot_mapped.load(Relaxed)
+        );
         self.batch_size
             .render_into(&mut out, "st_serve_batch_size", &BATCH_BUCKETS);
         self.candidate_size.render_into(
@@ -391,6 +437,7 @@ mod tests {
         m.retrieval_fallback_total.fetch_add(4, Relaxed);
         m.candidate_size.observe(300, &CANDIDATE_BUCKETS);
         m.last_reload_unix.store(1_700_000_000, Relaxed);
+        m.stamp_snapshot(StorageEncoding::I8, 4096, true);
         let text = m.render(7, 42);
         assert!(text.contains("st_serve_requests_total{route=\"recommend\"} 2"));
         assert!(text.contains("st_serve_responses_total{class=\"2xx\"} 1"));
@@ -411,5 +458,10 @@ mod tests {
         assert!(text.contains("st_serve_last_reload_timestamp_seconds 1700000000"));
         assert!(text.contains("st_serve_candidate_set_size_bucket{le=\"512\"} 1"));
         assert!(text.contains("st_serve_candidate_set_size_count 1"));
+        assert!(text.contains("st_serve_snapshot_bytes 4096"));
+        assert!(text.contains("st_serve_snapshot_format{format=\"int8\"} 1"));
+        assert!(text.contains("st_serve_snapshot_format{format=\"f32\"} 0"));
+        assert!(text.contains("st_serve_snapshot_format{format=\"f16\"} 0"));
+        assert!(text.contains("st_serve_snapshot_mapped 1"));
     }
 }

@@ -31,6 +31,7 @@ use crate::lru::LruCache;
 use crate::metrics::{Metrics, LATENCY_BUCKETS_US};
 use crate::snapshot::{ModelCell, Reloader};
 use st_data::{CityId, Dataset, UserId};
+use st_transrec_core::ModelSnapshot as FrozenModel;
 use st_transrec_core::{InferCtx, Recommendation, RetrievalConfig, STTransRec};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -141,10 +142,43 @@ impl Engine {
             Some(cfg) => ModelCell::with_retrieval(model, dataset.clone(), cfg),
             None => ModelCell::new(model),
         });
+        Self::from_cell(dataset, cell, reloader, config)
+    }
+
+    /// Builds an engine straight from a frozen generation — the v2
+    /// startup path ([`Reloader::load_frozen`]), which serves out of the
+    /// mapped checkpoint without ever materializing a training model.
+    /// `snapshot_bytes` is the container file size reported by the
+    /// snapshot gauges.
+    pub fn new_frozen(
+        dataset: Arc<Dataset>,
+        frozen: FrozenModel,
+        snapshot_bytes: u64,
+        reloader: Option<Reloader>,
+        config: &ServeConfig,
+    ) -> Arc<Self> {
+        let retrieval = config.retrieval.clone().map(|cfg| (dataset.clone(), cfg));
+        let cell = Arc::new(ModelCell::from_frozen(
+            frozen,
+            Some(snapshot_bytes),
+            retrieval,
+        ));
+        Self::from_cell(dataset, cell, reloader, config)
+    }
+
+    fn from_cell(
+        dataset: Arc<Dataset>,
+        cell: Arc<ModelCell>,
+        reloader: Option<Reloader>,
+        config: &ServeConfig,
+    ) -> Arc<Self> {
         let metrics = Arc::new(Metrics::new());
         metrics
             .last_reload_unix
             .store(unix_now(), Ordering::Relaxed);
+        let startup = cell.current();
+        metrics.stamp_snapshot(startup.format(), startup.snapshot_bytes, startup.mapped);
+        drop(startup);
         let batcher = MicroBatcher::start_with_faults(
             cell.clone(),
             metrics.clone(),
@@ -194,6 +228,12 @@ impl Engine {
                 self.metrics
                     .last_reload_unix
                     .store(unix_now(), Ordering::Relaxed);
+                let current = self.cell.current();
+                self.metrics.stamp_snapshot(
+                    current.format(),
+                    current.snapshot_bytes,
+                    current.mapped,
+                );
                 Ok(epoch)
             }
             Err(e) => {

@@ -9,12 +9,17 @@
 //! a reload every cached entry is unreachable immediately (invalidation
 //! is free) and LRU pressure reclaims the slots.
 //!
-//! [`Reloader`] rebuilds an [`STTransRec`] from the dataset/split/config
-//! the server was launched with and restores checkpoint bytes from
-//! disk. A corrupt or truncated checkpoint surfaces as `io::Error`
-//! *before* any swap happens, so the old model keeps serving.
+//! [`Reloader`] restores serving state from a checkpoint on disk,
+//! dispatching on the container version: a v2 checkpoint is
+//! memory-mapped and becomes a [`FrozenModel`] directly — no
+//! [`STTransRec`] is built, no training state allocated, and table
+//! bytes are paged in lazily as they are gathered — while a legacy v1
+//! checkpoint takes the historical rebuild-and-restore path. A corrupt
+//! or truncated checkpoint surfaces as `io::Error` *before* any swap
+//! happens, so the old model keeps serving.
 
 use st_data::{CrossingCitySplit, Dataset};
+use st_tensor::StorageEncoding;
 use st_transrec_core::ModelSnapshot as FrozenModel;
 use st_transrec_core::{ModelConfig, RetrievalConfig, RetrievalIndex, STTransRec};
 use std::path::{Path, PathBuf};
@@ -24,13 +29,10 @@ use std::time::SystemTime;
 
 /// One immutable generation of the serving model.
 pub struct ModelSnapshot {
-    /// The full model of this generation (training state included) —
-    /// kept for surfaces that need more than pair scoring, e.g. the
-    /// explanation endpoints' embedding inspection.
-    pub model: STTransRec,
     /// The frozen parameters all of this generation's scoring runs
-    /// through: the tape-free [`FrozenModel`] captured at swap time, so
-    /// the hot path never touches the autodiff tape.
+    /// through: the tape-free [`FrozenModel`] captured at swap time (or
+    /// mapped straight from a v2 checkpoint), so the hot path never
+    /// touches the autodiff tape.
     pub frozen: FrozenModel,
     /// Monotone generation number, starting at 1.
     pub epoch: u64,
@@ -39,6 +41,20 @@ pub struct ModelSnapshot {
     /// created without retrieval — every query then falls back to the
     /// exact sharded scan.
     pub retrieval: Option<Arc<RetrievalIndex>>,
+    /// Bytes backing this generation's parameters: the v2 container
+    /// size when loaded from a checkpoint, else the resident table
+    /// bytes of a live capture. Exported as `st_serve_snapshot_bytes`.
+    pub snapshot_bytes: u64,
+    /// True when the tables are served zero-copy out of a mapped file.
+    pub mapped: bool,
+}
+
+impl ModelSnapshot {
+    /// The embedding tables' storage encoding (f32 / f16 / int8),
+    /// exported as the `st_serve_snapshot_format` gauge label.
+    pub fn format(&self) -> StorageEncoding {
+        self.frozen.encoding()
+    }
 }
 
 /// The atomically swappable current snapshot.
@@ -52,19 +68,30 @@ pub struct ModelCell {
 
 impl ModelCell {
     fn capture(
-        model: STTransRec,
+        model: &STTransRec,
         epoch: u64,
         retrieval_ctx: &Option<(Arc<Dataset>, RetrievalConfig)>,
     ) -> Arc<ModelSnapshot> {
         let frozen = model.snapshot();
+        Self::wrap(frozen, epoch, retrieval_ctx)
+    }
+
+    fn wrap(
+        frozen: FrozenModel,
+        epoch: u64,
+        retrieval_ctx: &Option<(Arc<Dataset>, RetrievalConfig)>,
+    ) -> Arc<ModelSnapshot> {
         let retrieval = retrieval_ctx
             .as_ref()
             .map(|(d, cfg)| Arc::new(RetrievalIndex::build(&frozen, d, cfg.clone())));
+        let snapshot_bytes = frozen.table_bytes() as u64;
+        let mapped = frozen.is_mapped();
         Arc::new(ModelSnapshot {
-            model,
             frozen,
             epoch,
             retrieval,
+            snapshot_bytes,
+            mapped,
         })
     }
 
@@ -81,11 +108,34 @@ impl ModelCell {
     }
 
     fn build(model: STTransRec, retrieval_ctx: Option<(Arc<Dataset>, RetrievalConfig)>) -> Self {
-        let snapshot = Self::capture(model, 1, &retrieval_ctx);
+        let snapshot = Self::capture(&model, 1, &retrieval_ctx);
         Self {
             current: RwLock::new(snapshot),
             epoch: AtomicU64::new(1),
             retrieval_ctx,
+        }
+    }
+
+    /// Wraps an already-frozen model as epoch 1 — the v2 startup path,
+    /// which never materializes a training model. `snapshot_bytes`
+    /// overrides the byte gauge as in [`ModelCell::swap_frozen`];
+    /// `retrieval` enables index builds for this and every future
+    /// generation.
+    pub fn from_frozen(
+        frozen: FrozenModel,
+        snapshot_bytes: Option<u64>,
+        retrieval: Option<(Arc<Dataset>, RetrievalConfig)>,
+    ) -> Self {
+        let mut snapshot = Self::wrap(frozen, 1, &retrieval);
+        if let Some(bytes) = snapshot_bytes {
+            Arc::get_mut(&mut snapshot)
+                .expect("freshly wrapped snapshot is unshared")
+                .snapshot_bytes = bytes;
+        }
+        Self {
+            current: RwLock::new(snapshot),
+            epoch: AtomicU64::new(1),
+            retrieval_ctx: retrieval,
         }
     }
 
@@ -102,23 +152,30 @@ impl ModelCell {
 
     /// Atomically replaces the model, returning the new epoch. In-flight
     /// holders of the old `Arc` keep scoring against the old weights.
-    /// The new generation's retrieval index (when the cell has one) is
-    /// built *before* the write lock is taken, so readers are never
-    /// blocked behind an index build.
     pub fn swap(&self, model: STTransRec) -> u64 {
-        let frozen = model.snapshot();
-        let retrieval = self
-            .retrieval_ctx
-            .as_ref()
-            .map(|(d, cfg)| Arc::new(RetrievalIndex::build(&frozen, d, cfg.clone())));
+        self.swap_frozen(model.snapshot(), None)
+    }
+
+    /// Atomically publishes an already-frozen generation — the v2 mmap
+    /// reload path, which never materializes an [`STTransRec`].
+    /// `snapshot_bytes` overrides the reported byte gauge (the container
+    /// file size for mapped loads); `None` reports the frozen tables'
+    /// own storage bytes. The new generation's retrieval index (when
+    /// the cell has one) is built *before* the write lock is taken, so
+    /// readers are never blocked behind an index build.
+    pub fn swap_frozen(&self, frozen: FrozenModel, snapshot_bytes: Option<u64>) -> u64 {
+        let mut snapshot = Self::wrap(frozen, 0, &self.retrieval_ctx);
+        if let Some(bytes) = snapshot_bytes {
+            Arc::get_mut(&mut snapshot)
+                .expect("freshly wrapped snapshot is unshared")
+                .snapshot_bytes = bytes;
+        }
         let mut guard = self.current.write().expect("model cell poisoned");
         let epoch = guard.epoch + 1;
-        *guard = Arc::new(ModelSnapshot {
-            model,
-            frozen,
-            epoch,
-            retrieval,
-        });
+        Arc::get_mut(&mut snapshot)
+            .expect("freshly wrapped snapshot is unshared")
+            .epoch = epoch;
+        *guard = snapshot;
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }
@@ -159,7 +216,9 @@ impl Reloader {
         &self.path
     }
 
-    /// Loads the checkpoint into a freshly built model. Any failure —
+    /// Loads the checkpoint into a freshly built model (full training
+    /// state — the migration/offline path; the serving reload goes
+    /// through [`Reloader::load_frozen`] instead). Any failure —
     /// missing file, corrupt bytes, architecture mismatch — returns
     /// `Err` without touching the cell it would have been swapped into.
     pub fn load(&self) -> std::io::Result<STTransRec> {
@@ -173,10 +232,55 @@ impl Reloader {
         Ok(model)
     }
 
+    /// Loads the checkpoint as a frozen serving model, returning it with
+    /// the byte count to report for the snapshot gauge. Dispatches on
+    /// the container version: **v2** is memory-mapped and becomes a
+    /// [`FrozenModel`] directly — O(header) validation, no training
+    /// state, tables paged in on demand — while **v1** takes the legacy
+    /// rebuild-and-restore path. Either way a bad checkpoint errors out
+    /// before anything is swapped.
+    pub fn load_frozen(&self) -> std::io::Result<(FrozenModel, u64)> {
+        let mtime = std::fs::metadata(&self.path)
+            .and_then(|m| m.modified())
+            .ok();
+        let version = st_tensor::checkpoint::snapshot_version(&self.path)?;
+        let loaded = if version >= 2 {
+            let mapped = st_tensor::map_params(&self.path)?;
+            let frozen = FrozenModel::from_mapped(&mapped)?;
+            // The checkpoint must describe the dataset this server was
+            // launched with; a mismatched table would panic on the first
+            // out-of-range gather (or silently truncate the catalog).
+            if frozen.num_users() != self.dataset.num_users()
+                || frozen.num_pois() != self.dataset.num_pois()
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint tables ({} users, {} pois) do not match the dataset ({}, {})",
+                        frozen.num_users(),
+                        frozen.num_pois(),
+                        self.dataset.num_users(),
+                        self.dataset.num_pois()
+                    ),
+                ));
+            }
+            (frozen, mapped.file_bytes() as u64)
+        } else {
+            let file = std::fs::File::open(&self.path)?;
+            let mut model = STTransRec::new(&self.dataset, &self.split, self.config.clone());
+            model.restore(std::io::BufReader::new(file))?;
+            let frozen = model.snapshot();
+            let bytes = frozen.table_bytes() as u64;
+            (frozen, bytes)
+        };
+        *self.last_mtime.lock().expect("mtime lock poisoned") = mtime;
+        Ok(loaded)
+    }
+
     /// Loads and swaps in one step, returning the new epoch.
     pub fn reload_into(&self, cell: &ModelCell) -> std::io::Result<u64> {
-        let model = self.load()?;
-        Ok(cell.swap(model))
+        let (frozen, bytes) = self.load_frozen()?;
+        Ok(cell.swap_frozen(frozen, Some(bytes)))
     }
 
     /// True when the checkpoint file's mtime differs from the last load
@@ -220,7 +324,7 @@ mod tests {
         assert_eq!(old.epoch, 1);
         // The old snapshot still scores after the swap.
         let pois = d.pois_in_city(s.target_city);
-        let _ = old.model.score_batch(UserId(0), pois);
+        let _ = old.frozen.score_batch(UserId(0), pois);
     }
 
     #[test]
@@ -228,13 +332,14 @@ mod tests {
         let (d, s) = setup();
         let mut model = STTransRec::new(&d, &s, ModelConfig::test_small());
         model.train_epoch(&d);
+        let pois = d.pois_in_city(s.target_city);
+        let want = model.score_batch(UserId(0), pois);
         let cell = ModelCell::new(model);
         let snap = cell.current();
-        let pois = d.pois_in_city(s.target_city);
-        assert_eq!(
-            snap.frozen.score_batch(UserId(0), pois),
-            snap.model.score_batch(UserId(0), pois)
-        );
+        assert_eq!(snap.frozen.score_batch(UserId(0), pois), want);
+        assert_eq!(snap.format(), st_tensor::StorageEncoding::F32);
+        assert!(!snap.mapped);
+        assert!(snap.snapshot_bytes > 0);
     }
 
     #[test]
@@ -282,6 +387,58 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(reloader.reload_into(&cell).is_err());
         assert_eq!(cell.epoch(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_checkpoints_reload_mapped_and_score_like_the_source_model() {
+        use st_tensor::StorageEncoding;
+        let (d, s) = setup();
+        let dir = std::env::temp_dir().join(format!("st-serve-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+
+        let mut trained = STTransRec::new(&d, &s, ModelConfig::test_small());
+        trained.train_epoch(&d);
+        let pois = d.pois_in_city(s.target_city);
+        let want = trained.score_batch(UserId(0), pois);
+
+        let cell = ModelCell::new(STTransRec::new(&d, &s, ModelConfig::test_small()));
+        let reloader = Reloader::new(d.clone(), s.clone(), ModelConfig::test_small(), &path);
+
+        // f32 v2: mapped zero-copy reload, bit-identical scores.
+        st_tensor::save_params_atomic(trained.params(), &path).unwrap();
+        assert_eq!(reloader.reload_into(&cell).unwrap(), 2);
+        let snap = cell.current();
+        assert!(snap.mapped, "v2 reload must map, not parse");
+        assert_eq!(snap.format(), StorageEncoding::F32);
+        assert_eq!(snap.frozen.score_batch(UserId(0), pois), want);
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(snap.snapshot_bytes, file_len);
+
+        // int8 v2: mapped, quantized format surfaced, scores close.
+        st_tensor::save_params_atomic_as(trained.params(), &path, StorageEncoding::I8).unwrap();
+        assert_eq!(reloader.reload_into(&cell).unwrap(), 3);
+        let snap = cell.current();
+        assert_eq!(snap.format(), StorageEncoding::I8);
+        assert!(snap.mapped);
+        assert!(snap.snapshot_bytes < file_len, "int8 container must shrink");
+        for (a, b) in snap.frozen.score_batch(UserId(0), pois).iter().zip(&want) {
+            assert!((a - b).abs() < 0.05, "int8 scores drifted: {a} vs {b}");
+        }
+
+        // A checkpoint for a different dataset shape is rejected cleanly.
+        let cfg2 = SynthConfig {
+            users: SynthConfig::tiny().users + 3,
+            ..SynthConfig::tiny()
+        };
+        let (d2, _) = generate(&cfg2);
+        let s2 = CrossingCitySplit::build(&d2, CityId(cfg2.target_city as u16));
+        let other = STTransRec::new(&d2, &s2, ModelConfig::test_small());
+        st_tensor::save_params_atomic(other.params(), &path).unwrap();
+        assert!(reloader.reload_into(&cell).is_err());
+        assert_eq!(cell.epoch(), 3, "failed reload must not swap");
 
         std::fs::remove_dir_all(&dir).ok();
     }

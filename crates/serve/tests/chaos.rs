@@ -51,9 +51,7 @@ fn fixture(tag: &str) -> Fixture {
     let mut oracle = STTransRec::new(&dataset, &split, ModelConfig::test_small());
     oracle.train_epoch(&dataset);
     let ckpt = scratch_dir(tag).join("model.bin");
-    oracle
-        .save(std::fs::File::create(&ckpt).expect("create ckpt"))
-        .expect("save ckpt");
+    st_tensor::save_params_atomic(oracle.params(), &ckpt).expect("save ckpt");
     Fixture {
         dataset,
         split,
@@ -250,9 +248,7 @@ fn hot_reload_mid_burst_loses_zero_requests() {
     let injector = Arc::new(FaultInjector::new(9));
     let server = start_server(&fx, &chaos_config(&injector, 8));
     let addr = server.local_addr();
-    fx.oracle
-        .save(std::fs::File::create(&fx.ckpt).expect("recreate ckpt"))
-        .expect("resave ckpt");
+    st_tensor::save_params_atomic(fx.oracle.params(), &fx.ckpt).expect("resave ckpt");
 
     let parked: Vec<(u32, usize)> = (0..5u32).map(|u| (u, 5)).collect();
     injector.freeze();

@@ -51,9 +51,7 @@ fn fixture(tag: &str, epochs: usize) -> Fixture {
         oracle.train_epoch(&dataset);
     }
     let ckpt = scratch_dir(tag).join("model.bin");
-    oracle
-        .save(std::fs::File::create(&ckpt).expect("create ckpt"))
-        .expect("save ckpt");
+    st_tensor::save_params_atomic(oracle.params(), &ckpt).expect("save ckpt");
     Fixture {
         dataset,
         split,
@@ -161,9 +159,7 @@ fn concurrent_clients_with_inflight_reload() {
 
     // Overwrite the checkpoint with generation 2 bytes, then hammer the
     // server from several threads while one of them triggers the reload.
-    fx.oracle
-        .save(std::fs::File::create(&fx.ckpt).expect("recreate ckpt"))
-        .expect("resave ckpt");
+    st_tensor::save_params_atomic(fx.oracle.params(), &fx.ckpt).expect("resave ckpt");
 
     let gen1 = Arc::new(gen1);
     let gen2 = Arc::new(gen2);

@@ -17,6 +17,7 @@
 //! changing by a single byte.
 
 use crate::nn::Activation;
+use crate::storage::RowSource;
 use crate::{ops, Matrix};
 
 /// Reusable scratch state for tape-free forward evaluation.
@@ -71,12 +72,20 @@ impl InferCtx {
     /// Loads the fused embedding gather + pair concat
     /// `[a[ai[i]] | b[bi[i]]]` as the current activation — the
     /// interaction tower's input, built without intermediate gather
-    /// matrices.
+    /// matrices. The tables may be plain matrices or quantized/mapped
+    /// [`crate::TableStorage`]; quantized rows dequantize straight into
+    /// the scratch buffer.
     ///
     /// # Panics
     /// Panics if the index slices differ in length or any index is out
     /// of range.
-    pub fn gather_concat2(&mut self, a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize]) {
+    pub fn gather_concat2<A: RowSource + ?Sized, B: RowSource + ?Sized>(
+        &mut self,
+        a: &A,
+        ai: &[usize],
+        b: &B,
+        bi: &[usize],
+    ) {
         let (r, c) = (ai.len(), a.cols() + b.cols());
         self.cur = Self::reshape_zeroed(std::mem::take(&mut self.cur), r, c, &mut self.grows);
         ops::gather_concat2_assign(a, ai, b, bi, &mut self.cur);

@@ -61,8 +61,13 @@ pub mod ops;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod quant;
+pub mod storage;
 
-pub use checkpoint::{load_params, save_params, save_params_atomic, CheckpointError};
+pub use checkpoint::{
+    load_params, map_params, save_params, save_params_atomic, save_params_atomic_as,
+    save_params_v2, CheckpointError, MappedParams,
+};
 pub use grad_check::{assert_gradients_close, check_gradients, GradCheckReport};
 pub use infer::InferCtx;
 pub use init::Init;
@@ -72,4 +77,5 @@ pub use ops::stable_sigmoid;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{GradSlot, Gradients, ParamId, ParamStore, SparseRows};
 pub use pool::MatrixPool;
+pub use storage::{Bytes, Mmap, RowSource, StorageEncoding, TableStorage};
 pub use tape::{Tape, Var};

@@ -18,6 +18,7 @@
 //! equality, not tolerance bounds.
 
 use crate::nn::Activation;
+use crate::storage::RowSource;
 use crate::Matrix;
 
 /// `out += a * b` through the blocked register-tile kernel. `out` must be
@@ -75,10 +76,22 @@ pub fn activation_assign(act: Activation, x: &mut Matrix) {
 /// gather + pair concat of the interaction tower, fused into one pass so
 /// no intermediate gather matrices exist on the inference path.
 ///
+/// Generic over [`RowSource`], so the tables may be plain matrices or
+/// quantized/memory-mapped [`crate::TableStorage`]: dequantization
+/// happens inside the gather, row by row, straight into `out`. For
+/// `Matrix` sources the body reduces to the same `copy_from_slice` as
+/// before — bit-identical to the historical implementation.
+///
 /// # Panics
 /// Panics if the index slices differ in length, any index is out of
 /// range, or `out` has the wrong shape.
-pub fn gather_concat2_assign(a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize], out: &mut Matrix) {
+pub fn gather_concat2_assign<A: RowSource + ?Sized, B: RowSource + ?Sized>(
+    a: &A,
+    ai: &[usize],
+    b: &B,
+    bi: &[usize],
+    out: &mut Matrix,
+) {
     assert_eq!(ai.len(), bi.len(), "index slices must be parallel");
     assert_eq!(
         out.shape(),
@@ -90,8 +103,8 @@ pub fn gather_concat2_assign(a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize],
         assert!(ia < a.rows(), "gather index {ia} out of {} rows", a.rows());
         assert!(ib < b.rows(), "gather index {ib} out of {} rows", b.rows());
         let row = out.row_mut(r);
-        row[..split].copy_from_slice(a.row(ia));
-        row[split..].copy_from_slice(b.row(ib));
+        a.copy_row_into(ia, &mut row[..split]);
+        b.copy_row_into(ib, &mut row[split..]);
     }
 }
 
@@ -106,9 +119,20 @@ pub fn gather_concat2_assign(a: &Matrix, ai: &[usize], b: &Matrix, bi: &[usize],
 /// the IVF coarse quantizer: k-means build time and query-time probe
 /// selection both reduce to it.
 ///
+/// Generic over [`RowSource`] for the points, so IVF assignment can
+/// probe frozen POI embeddings straight out of a quantized or
+/// memory-mapped table: each 512-row block is decoded once into the
+/// block buffer that already existed on this path, then hits the same
+/// blocked matmul. For `Matrix` points the copy is the same
+/// `copy_from_slice` as before — bit-identical results.
+///
 /// # Panics
 /// Panics if the row widths differ or `centroids` is empty.
-pub fn nearest_centroids(points: &Matrix, centroids: &Matrix, out: &mut Vec<u32>) {
+pub fn nearest_centroids<P: RowSource + ?Sized>(
+    points: &P,
+    centroids: &Matrix,
+    out: &mut Vec<u32>,
+) {
     assert_eq!(
         points.cols(),
         centroids.cols(),
@@ -132,7 +156,7 @@ pub fn nearest_centroids(points: &Matrix, centroids: &Matrix, out: &mut Vec<u32>
         let bs = BLOCK.min(n - start);
         let mut block = Matrix::zeros(bs, points.cols());
         for r in 0..bs {
-            block.row_mut(r).copy_from_slice(points.row(start + r));
+            points.copy_row_into(start + r, block.row_mut(r));
         }
         let mut scores = Matrix::zeros(bs, k);
         block.matmul_transpose_b_into(centroids, &mut scores);
@@ -232,6 +256,50 @@ mod tests {
         let mut out = Vec::new();
         nearest_centroids(&points, &centroids, &mut out);
         assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn gather_concat2_from_storage_matches_decoded_matrix() {
+        use crate::storage::{StorageEncoding, TableStorage};
+        let a = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f32 - 6.0) / 7.0).collect());
+        let b = Matrix::from_vec(3, 2, (0..6).map(|i| (i as f32) * 0.3 - 0.8).collect());
+        for enc in [
+            StorageEncoding::F32,
+            StorageEncoding::F16,
+            StorageEncoding::I8,
+        ] {
+            let sa = TableStorage::encode(&a, enc);
+            let sb = TableStorage::encode(&b, enc);
+            // The fused quantized gather must agree bit-for-bit with
+            // decode-whole-table-then-gather.
+            let (da, db) = (sa.to_matrix(), sb.to_matrix());
+            let ai = [3usize, 0, 2];
+            let bi = [1usize, 2, 0];
+            let mut fused = Matrix::zeros(3, 5);
+            gather_concat2_assign(&sa, &ai, &sb, &bi, &mut fused);
+            let mut decoded = Matrix::zeros(3, 5);
+            gather_concat2_assign(&da, &ai, &db, &bi, &mut decoded);
+            assert_eq!(fused, decoded, "{enc}");
+        }
+    }
+
+    #[test]
+    fn nearest_centroids_from_storage_matches_decoded_matrix() {
+        use crate::storage::{StorageEncoding, TableStorage};
+        let points = Matrix::from_vec(
+            9,
+            4,
+            (0..36).map(|i| ((i * 13 % 17) as f32) / 5.0).collect(),
+        );
+        let centroids = Matrix::from_vec(3, 4, (0..12).map(|i| (i as f32) / 3.0).collect());
+        for enc in [StorageEncoding::F16, StorageEncoding::I8] {
+            let sp = TableStorage::encode(&points, enc);
+            let mut via_storage = Vec::new();
+            nearest_centroids(&sp, &centroids, &mut via_storage);
+            let mut via_decoded = Vec::new();
+            nearest_centroids(&sp.to_matrix(), &centroids, &mut via_decoded);
+            assert_eq!(via_storage, via_decoded, "{enc}");
+        }
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Property tests for the quantized v2 snapshot path.
+//!
+//! Two promises are policed here:
+//!
+//! 1. **Quantization round-trips are bounded.** For any f32 row, int8
+//!    per-row quantization reconstructs every element within the
+//!    documented worst-case bound (`scale / 2` = `max_abs / 254`), and
+//!    degenerate rows (all-zero, constant) behave exactly.
+//! 2. **No byte pattern reaches undefined behaviour.** The v2 reader
+//!    serves gathers straight out of a memory-mapped file, so a corrupt
+//!    container must surface as a clean `io::Error`-compatible failure —
+//!    never a panic, never an out-of-bounds slice. Truncations, bit
+//!    flips, and version forgeries are thrown at both the owned parse
+//!    and the full [`st_tensor::load_params`] pipeline.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_tensor::checkpoint::MappedParams;
+use st_tensor::quant::{dequantize_row_i8, i8_row_error_bound, quantize_row_i8};
+use st_tensor::{save_params_v2, Init, ParamStore, StorageEncoding};
+
+proptest! {
+    /// Every element of every row survives the int8 round-trip within
+    /// the closed-form error bound, and the bound itself is tight in the
+    /// units of one quantization step.
+    #[test]
+    fn int8_roundtrip_error_is_bounded(
+        row in proptest::collection::vec(-1000.0f32..1000.0f32, 1..96)
+    ) {
+        let mut q = vec![0i8; row.len()];
+        let scale = quantize_row_i8(&row, &mut q);
+        let mut back = vec![0.0f32; row.len()];
+        dequantize_row_i8(&q, scale, &mut back);
+
+        let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let bound = i8_row_error_bound(max_abs);
+        for (orig, rt) in row.iter().zip(&back) {
+            prop_assert!(
+                (orig - rt).abs() <= bound + 1e-6,
+                "element {orig} round-tripped to {rt}, bound {bound}"
+            );
+        }
+    }
+
+    /// All-zero rows are represented exactly (scale 0, all codes 0), so
+    /// padding rows never inject noise.
+    #[test]
+    fn int8_zero_rows_are_exact(len in 1usize..128) {
+        let row = vec![0.0f32; len];
+        let mut q = vec![0i8; len];
+        let scale = quantize_row_i8(&row, &mut q);
+        prop_assert_eq!(scale, 0.0);
+        prop_assert!(q.iter().all(|&c| c == 0));
+        let mut back = vec![1.0f32; len];
+        dequantize_row_i8(&q, scale, &mut back);
+        prop_assert!(back.iter().all(|&v| v == 0.0));
+    }
+
+    /// Constant rows hit the extreme code exactly: every element is the
+    /// row's own max-abs, so quantization is lossless.
+    #[test]
+    fn int8_constant_rows_are_exact(value in -500.0f32..500.0f32, len in 1usize..64) {
+        let row = vec![value; len];
+        let mut q = vec![0i8; len];
+        let scale = quantize_row_i8(&row, &mut q);
+        let mut back = vec![0.0f32; len];
+        dequantize_row_i8(&q, scale, &mut back);
+        for &rt in &back {
+            prop_assert!(
+                (rt - value).abs() <= value.abs() * 1e-6,
+                "constant {value} came back as {rt}"
+            );
+        }
+    }
+}
+
+/// A small but shape-diverse store covering both lossy-eligible tables
+/// (`*_emb`) and always-f32 tower params.
+fn sample_store(seed: u64) -> ParamStore {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    store.register("user_emb", 9, 6, Init::Uniform { limit: 0.5 }, &mut rng);
+    store.register("poi_emb", 13, 6, Init::Uniform { limit: 0.5 }, &mut rng);
+    store.register("tower.0.w", 12, 4, Init::Uniform { limit: 0.5 }, &mut rng);
+    store.register("tower.0.b", 1, 4, Init::Uniform { limit: 0.5 }, &mut rng);
+    store
+}
+
+/// Corruption must never escape as a panic: the parse either rejects the
+/// bytes or — when damage lands inside tensor data, which only the data
+/// checksum can see — the checksum-verifying load path rejects them.
+fn assert_corruption_is_contained(bytes: Vec<u8>, what: &str) {
+    let structurally_ok = match MappedParams::from_owned(bytes.clone()) {
+        Ok(mapped) => {
+            // The map-time parse validated every offset, so iterating and
+            // materializing each entry must be in-bounds and panic-free.
+            for (name, _) in mapped.iter() {
+                let _ = mapped.matrix(name);
+            }
+            mapped.verify_data_checksums().is_ok()
+        }
+        Err(_) => false,
+    };
+    // The owned pipeline always verifies data checksums, so it must
+    // agree with the strict verdict above.
+    let loaded = st_tensor::load_params(bytes.as_slice());
+    assert_eq!(
+        loaded.is_ok(),
+        structurally_ok,
+        "{what}: load_params and strict mapped parse disagree"
+    );
+}
+
+proptest! {
+    /// Truncating a valid v2 container at any byte — header, index, or
+    /// data region — is rejected cleanly, never UB.
+    #[test]
+    fn v2_truncation_never_panics(seed in 0u64..32, cut in 0.0f64..1.0) {
+        let mut bytes = Vec::new();
+        save_params_v2(&sample_store(seed), StorageEncoding::I8, &mut bytes).unwrap();
+        let keep = ((bytes.len() as f64) * cut) as usize;
+        let truncated = bytes[..keep.min(bytes.len().saturating_sub(1))].to_vec();
+        prop_assert!(
+            MappedParams::from_owned(truncated.clone()).is_err(),
+            "truncated container parsed"
+        );
+        prop_assert!(st_tensor::load_params(truncated.as_slice()).is_err());
+    }
+
+    /// Flipping any bit anywhere in the container is either caught
+    /// structurally, caught by a checksum, or (never) silently accepted
+    /// with out-of-bounds consequences — the parse must not panic.
+    #[test]
+    fn v2_bit_flips_never_panic(seed in 0u64..16, pos in 0.0f64..1.0, bit in 0u32..8) {
+        let mut bytes = Vec::new();
+        save_params_v2(&sample_store(seed), StorageEncoding::F16, &mut bytes).unwrap();
+        let idx = (((bytes.len() - 1) as f64) * pos) as usize;
+        bytes[idx] ^= 1 << bit;
+        assert_corruption_is_contained(bytes, "bit flip");
+    }
+
+    /// A forged version byte (anything but 1 or 2) is an immediate clean
+    /// error.
+    #[test]
+    fn v2_unknown_versions_are_rejected(version in 3u8..255) {
+        let mut bytes = Vec::new();
+        save_params_v2(&sample_store(7), StorageEncoding::F32, &mut bytes).unwrap();
+        bytes[4] = version; // little-endian u32 version field after the magic
+        prop_assert!(MappedParams::from_owned(bytes.clone()).is_err());
+        prop_assert!(st_tensor::load_params(bytes.as_slice()).is_err());
+    }
+}
+
+/// Deterministic sweep to complement the random cases: every truncation
+/// length of a small container and a bit flip in every byte of the
+/// header + index region.
+#[test]
+fn v2_exhaustive_header_corruption_sweep() {
+    let mut bytes = Vec::new();
+    save_params_v2(&sample_store(3), StorageEncoding::I8, &mut bytes).unwrap();
+
+    for keep in 0..bytes.len() {
+        assert!(
+            MappedParams::from_owned(bytes[..keep].to_vec()).is_err(),
+            "truncation to {keep} bytes parsed"
+        );
+    }
+
+    // Header + index live in the first page; mangle each byte there.
+    let mut rng = SmallRng::seed_from_u64(11);
+    for idx in 0..bytes.len().min(4096) {
+        let mut mangled = bytes.clone();
+        mangled[idx] ^= 1 << (rng.gen_range(0..8u32) as u8);
+        assert_corruption_is_contained(mangled, "header/index byte flip");
+    }
+}

@@ -41,12 +41,19 @@ fn main() {
     let report = evaluate(&model, &dataset, &split, &EvalConfig::default());
     println!("\n{report}");
 
-    // 4. Checkpoint to bytes (a file in real use), then restore into a
-    //    fresh model for serving — scores are bit-identical.
-    let mut checkpoint = Vec::new();
-    model.save(&mut checkpoint).expect("save checkpoint");
+    // 4. Checkpoint atomically (temp file + rename — the same writer the
+    //    trainer and server use), then restore into a fresh model for
+    //    serving — scores are bit-identical.
+    let dir = std::env::temp_dir().join(format!("st-custom-data-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let ckpt = dir.join("model.bin");
+    st_transrec::tensor::save_params_atomic(model.params(), &ckpt).expect("save checkpoint");
     let mut serving = STTransRec::new(&dataset, &split, ModelConfig::test_small());
-    serving.restore(checkpoint.as_slice()).expect("restore");
+    serving
+        .restore(BufReader::new(
+            std::fs::File::open(&ckpt).expect("open checkpoint"),
+        ))
+        .expect("restore");
 
     let user = split.test_users[0];
     let pois = dataset.pois_in_city(target);
@@ -57,6 +64,7 @@ fn main() {
     );
     println!(
         "Checkpoint restored ({} bytes); serving scores verified identical.",
-        checkpoint.len()
+        std::fs::metadata(&ckpt).expect("stat checkpoint").len()
     );
+    std::fs::remove_dir_all(&dir).ok();
 }
