@@ -14,10 +14,19 @@
 //! passes. The chaos report goes to `BENCH_CHAOS.json` (or
 //! `ST_BENCH_OUT`).
 //!
+//! `--fleet [--seed N] [--extra-phases N]` runs the sharded-serving
+//! suite from [`st_bench::fleet`]: replica fleets behind an `st-router`
+//! at N = 1/2/4 proving near-linear throughput scaling, a rolling
+//! snapshot rollout under load proving zero request loss, and a
+//! two-pass seeded fleet-chaos replay proving bit-identical count
+//! signatures. Report goes to `BENCH_PR10.json` (or `ST_BENCH_OUT`);
+//! knobs: `ST_FLEET_CLIENTS` (per shard), `ST_FLEET_REQS` (per client),
+//! `ST_FLEET_PAD_US` (injected per-request inference cost).
+//!
 //! Build with `--release`: a debug-build forward pass drowns out
 //! everything the batcher does.
 
-use st_bench::{chaos, serve_load};
+use st_bench::{chaos, fleet, serve_load};
 use std::path::PathBuf;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -94,11 +103,113 @@ fn run_chaos_mode(mut args: std::env::Args) -> ! {
     std::process::exit(0);
 }
 
+fn run_fleet_mode(mut args: std::env::Args) -> ! {
+    let mut seed = 42u64;
+    let mut extra_phases = 2usize;
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--fleet" => {}
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--extra-phases" => {
+                extra_phases = value("--extra-phases").parse().unwrap_or_else(|_| {
+                    eprintln!("error: --extra-phases must be an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("error: unknown fleet-mode flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let clients_per_shard = env_usize("ST_FLEET_CLIENTS", 2);
+    let requests_per_client = env_usize("ST_FLEET_REQS", 150);
+    let pad_us = env_usize("ST_FLEET_PAD_US", 2000) as u64;
+    let out_path: PathBuf = std::env::var("ST_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_PR10.json"
+            ))
+        });
+
+    eprintln!(
+        "running fleet suite ({clients_per_shard} clients/shard x {requests_per_client} requests, \
+         pad {pad_us} us, chaos seed {seed} + {extra_phases} extra phases)..."
+    );
+    let report = fleet::run_fleet_suite(
+        clients_per_shard,
+        requests_per_client,
+        pad_us,
+        seed,
+        extra_phases,
+    );
+
+    for p in &report.scaling {
+        eprintln!(
+            "  scale N={}: {:>6.0} req/s over {} clients ({} requests, {} errors) -> {:.2}x",
+            p.replicas, p.throughput_rps, p.clients, p.requests, p.errors, p.speedup
+        );
+    }
+    let r = &report.rollout;
+    eprintln!(
+        "  rollout N={}: {} requests, {} ok / {} lost, completed {}, ledger {}",
+        r.replicas, r.requests, r.ok_200, r.non_200, r.rollout_completed, r.ledger_consistent
+    );
+    let c = &report.chaos.counts;
+    eprintln!(
+        "  chaos {} phases: submitted {} = served {} + remapped {} + unreachable {} + dark {} + expired {}",
+        report.chaos.phases,
+        c.submitted,
+        c.served,
+        c.served_remapped,
+        c.unreachable_503,
+        c.dark_503,
+        c.expired_503
+    );
+    eprintln!(
+        "  chaos conservation {} | metrics consistent {} | reproducible {}",
+        report.chaos.conservation_ok, report.chaos.metrics_consistent, report.chaos.reproducible
+    );
+    let a = &report.acceptance;
+    eprintln!(
+        "acceptance: speedup@2 {:.2} (>=1.7), speedup@4 {:.2} (>=3.0), zero-loss rollout {}, chaos ok {}",
+        a.speedup_2, a.speedup_4, a.zero_loss_rollout, a.chaos_ok
+    );
+
+    let text = report.to_json_string();
+    std::fs::write(&out_path, text + "\n").expect("write fleet report");
+    eprintln!("wrote {}", out_path.display());
+
+    if !a.all_gates {
+        eprintln!("FLEET ACCEPTANCE GATES NOT MET (see report above)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--chaos") {
         let mut args = std::env::args();
         args.next(); // binary name
         run_chaos_mode(args);
+    }
+    if std::env::args().any(|a| a == "--fleet") {
+        let mut args = std::env::args();
+        args.next(); // binary name
+        run_fleet_mode(args);
     }
     let clients = env_usize("ST_LOADGEN_CLIENTS", 8);
     let requests_per_client = env_usize("ST_LOADGEN_REQS", 150);

@@ -15,6 +15,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fleet;
 pub mod infer_perf;
 pub mod json;
 pub mod online_loop;

@@ -1,0 +1,193 @@
+//! Seed-reproducible fleet-level chaos schedules.
+//!
+//! Extends the PR 5 [`st_serve::FaultPlan`] idea one tier up: a
+//! [`FleetFaultPlan`] expands a single `u64` seed into a sequence of
+//! [`FleetChaosPhase`]s — replica kills, batcher hangs that trip
+//! breakers, and rolling reloads — with all victims and request counts
+//! fixed by the seed. The fleet-chaos harness (in `st-bench`) executes
+//! the phases single-threaded against an in-process fleet, so two runs
+//! with the same seed must produce bit-identical count signatures.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One phase of a fleet chaos schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetChaosPhase {
+    /// Baseline traffic spread across every shard; all answers 200.
+    Normal {
+        /// Requests per replica's key space.
+        per_shard: usize,
+    },
+    /// Kill one replica: its users see `503`s (fresh-connect failures,
+    /// then breaker-open fast rejects) until probes mark it down and
+    /// remap them to the ring successor; the replica then rejoins on a
+    /// new port and traffic returns to it.
+    ReplicaOutage {
+        /// Which replica dies (index into the fleet).
+        victim: u16,
+        /// Requests sent into the dark window. Must exceed the breaker
+        /// threshold so the open transition is observed.
+        while_dark: usize,
+        /// Requests after probes mark the victim down (served remapped).
+        remapped: usize,
+        /// Requests after the victim rejoins (served by it again).
+        after: usize,
+    },
+    /// Freeze one replica's batcher so queued requests die of deadline
+    /// expiry (backend 503s), tripping the router breaker; the breaker
+    /// then fast-rejects, is forced half-open, and a probe request
+    /// closes it.
+    HangBreaker {
+        /// Which replica hangs.
+        victim: u16,
+        /// Requests parked in the frozen queue (≥ breaker threshold,
+        /// ≤ the harness queue capacity).
+        hung: usize,
+        /// Fast dark-shard rejects observed while the breaker is open.
+        dark: usize,
+    },
+    /// Publish a new checkpoint and roll it across the fleet one replica
+    /// at a time, interleaving traffic between steps; per-user epochs
+    /// must be non-decreasing throughout.
+    RollingReload {
+        /// Requests per shard between rollout steps.
+        per_shard: usize,
+    },
+}
+
+/// A seeded fleet chaos schedule.
+#[derive(Debug, Clone)]
+pub struct FleetFaultPlan {
+    /// The seed the phases were expanded from.
+    pub seed: u64,
+    /// Fleet size the plan was sized for.
+    pub replicas: u16,
+    /// Phases in execution order.
+    pub phases: Vec<FleetChaosPhase>,
+}
+
+impl FleetFaultPlan {
+    /// Expands `seed` into a schedule for a fleet of `replicas`. The
+    /// plan covers every fault mode at least once, then appends
+    /// `extra_phases` more drawn at random; victims, counts, and order
+    /// are fully determined by the seed.
+    ///
+    /// `breaker_threshold` and `queue_capacity` bound phase parameters
+    /// so every scheduled fault actually manifests: dark windows are
+    /// long enough to trip breakers, hang phases fit in the victim's
+    /// batcher queue.
+    pub fn from_seed(
+        seed: u64,
+        replicas: u16,
+        breaker_threshold: u32,
+        queue_capacity: usize,
+        extra_phases: usize,
+    ) -> Self {
+        assert!(replicas >= 2, "fleet chaos needs at least two replicas");
+        assert!(
+            queue_capacity >= breaker_threshold as usize,
+            "hang phases must be able to trip the breaker within the queue"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draw = |rng: &mut SmallRng, idx: usize| -> FleetChaosPhase {
+            match idx {
+                0 => FleetChaosPhase::Normal {
+                    per_shard: rng.gen_range(2..=4),
+                },
+                1 => FleetChaosPhase::ReplicaOutage {
+                    victim: rng.gen_range(0..replicas),
+                    while_dark: rng.gen_range(
+                        breaker_threshold as usize + 1
+                            ..=queue_capacity.max(breaker_threshold as usize + 2),
+                    ),
+                    remapped: rng.gen_range(2..=4),
+                    after: rng.gen_range(1..=3),
+                },
+                2 => FleetChaosPhase::HangBreaker {
+                    victim: rng.gen_range(0..replicas),
+                    hung: rng.gen_range(breaker_threshold as usize..=queue_capacity),
+                    dark: rng.gen_range(1..=3),
+                },
+                _ => FleetChaosPhase::RollingReload {
+                    per_shard: rng.gen_range(1..=2),
+                },
+            }
+        };
+        // One deck covering all four modes, in seed-shuffled order.
+        let mut deck: Vec<usize> = (0..4).collect();
+        for i in (1..deck.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            deck.swap(i, j);
+        }
+        let mut phases: Vec<FleetChaosPhase> = Vec::with_capacity(4 + extra_phases + 1);
+        for idx in deck {
+            phases.push(draw(&mut rng, idx));
+        }
+        for _ in 0..extra_phases {
+            let idx = rng.gen_range(0..4usize);
+            phases.push(draw(&mut rng, idx));
+        }
+        // Always end on normal traffic: proves the fleet recovered.
+        phases.push(FleetChaosPhase::Normal { per_shard: 2 });
+        Self {
+            seed,
+            replicas,
+            phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FleetFaultPlan::from_seed(42, 3, 3, 6, 4);
+        let b = FleetFaultPlan::from_seed(42, 3, 3, 6, 4);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.phases.len(), 4 + 4 + 1);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plans: Vec<_> = (0..8u64)
+            .map(|s| FleetFaultPlan::from_seed(s, 3, 3, 6, 4).phases)
+            .collect();
+        assert!(plans.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn covers_every_mode_and_bounds_parameters() {
+        for seed in 0..16u64 {
+            let plan = FleetFaultPlan::from_seed(seed, 4, 3, 6, 3);
+            let (mut normal, mut outage, mut hang, mut reload) = (0, 0, 0, 0);
+            for phase in &plan.phases {
+                match *phase {
+                    FleetChaosPhase::Normal { per_shard } => {
+                        normal += 1;
+                        assert!(per_shard >= 1);
+                    }
+                    FleetChaosPhase::ReplicaOutage {
+                        victim, while_dark, ..
+                    } => {
+                        outage += 1;
+                        assert!(victim < 4);
+                        assert!(while_dark > 3, "dark window must trip the breaker");
+                    }
+                    FleetChaosPhase::HangBreaker { victim, hung, .. } => {
+                        hang += 1;
+                        assert!(victim < 4);
+                        assert!((3..=6).contains(&hung));
+                    }
+                    FleetChaosPhase::RollingReload { per_shard } => {
+                        reload += 1;
+                        assert!(per_shard >= 1);
+                    }
+                }
+            }
+            assert!(normal >= 1 && outage >= 1 && hang >= 1 && reload >= 1);
+        }
+    }
+}

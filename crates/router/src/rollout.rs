@@ -1,0 +1,304 @@
+//! Rolling snapshot rollout: upgrade replicas one at a time, verify each
+//! swap, and never let one user observe mixed model generations.
+//!
+//! The driver is a resumable state machine over the fleet order:
+//!
+//! 1. Mark the next replica [`Generation::InFlight`] — the fleet diverts
+//!    its users to a healthy old-generation successor.
+//! 2. `POST /admin/reload` and parse the outcome the backend reports
+//!    (`model_epoch`, `snapshot_format`, ...).
+//! 3. Independently verify via `GET /metrics` that the
+//!    `st_serve_model_epoch` gauge and the `st_serve_snapshot_format`
+//!    one-hot agree with the reload report (and with the expected format
+//!    when the operator pinned one).
+//! 4. Mark the replica [`Generation::New`]; its users come back to it
+//!    and are pinned to the new generation from their first answer.
+//!
+//! A dead replica, failed reload, or verification mismatch **pauses**
+//! the rollout at that shard: the replica stays diverted (its state is
+//! unverified), already-upgraded replicas keep serving the new
+//! generation, and a later [`RolloutDriver::step`] retries the same
+//! shard. Pausing instead of skipping is what keeps the "no mixed epochs
+//! for one user" invariant trivially true under mid-rollout failures.
+
+use crate::fleet::{Fleet, Generation};
+use crate::ring::ReplicaId;
+use st_serve::HttpClient;
+use st_tensor::StorageEncoding;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Rollout tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RolloutConfig {
+    /// When set, every replica must land on exactly this snapshot format
+    /// or the rollout pauses.
+    pub expect_format: Option<StorageEncoding>,
+    /// Reload/verify RPC timeout; `None` uses a generous default
+    /// (reloads deserialize whole checkpoints).
+    pub rpc_timeout: Option<Duration>,
+}
+
+/// Outcome of one [`RolloutDriver::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RolloutStep {
+    /// The shard reloaded and verified; its users now pin to the new
+    /// generation.
+    Upgraded {
+        /// The upgraded replica.
+        replica: ReplicaId,
+        /// Its verified post-reload epoch.
+        epoch: u64,
+    },
+    /// The rollout cannot proceed past this shard right now; retrying
+    /// `step()` resumes here.
+    Paused {
+        /// The blocking replica.
+        replica: ReplicaId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Every replica is upgraded; rollout state has been cleared.
+    Done,
+}
+
+/// Summary of a full [`RolloutDriver::run`].
+#[derive(Debug, Clone)]
+pub struct RolloutReport {
+    /// Whether every replica upgraded.
+    pub completed: bool,
+    /// `(replica, verified epoch)` per upgraded shard, in order.
+    pub upgraded: Vec<(ReplicaId, u64)>,
+    /// The pause point, when not completed.
+    pub paused: Option<(ReplicaId, String)>,
+}
+
+impl RolloutReport {
+    /// Renders the report as the `/admin/reload` response body.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"completed\":{},\"upgraded\":[", self.completed);
+        for (i, (id, epoch)) in self.upgraded.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"replica\":{id},\"model_epoch\":{epoch}}}");
+        }
+        out.push(']');
+        if let Some((id, reason)) = &self.paused {
+            let _ = write!(
+                out,
+                ",\"paused\":{{\"replica\":{id},\"reason\":{}}}",
+                st_serve::http::json_string(reason)
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Drives one rolling rollout across a fleet.
+pub struct RolloutDriver<'a> {
+    fleet: &'a Fleet,
+    config: RolloutConfig,
+    next: usize,
+    active: bool,
+}
+
+impl<'a> RolloutDriver<'a> {
+    /// A driver positioned before the first replica.
+    pub fn new(fleet: &'a Fleet, config: RolloutConfig) -> Self {
+        Self {
+            fleet,
+            config,
+            next: 0,
+            active: false,
+        }
+    }
+
+    /// Index of the next replica to upgrade.
+    pub fn position(&self) -> usize {
+        self.next
+    }
+
+    /// Advances the rollout by (at most) one shard.
+    pub fn step(&mut self) -> RolloutStep {
+        if !self.active {
+            self.fleet.begin_rollout();
+            self.active = true;
+            self.next = 0;
+        }
+        if self.next >= self.fleet.len() {
+            self.fleet.finish_rollout();
+            self.active = false;
+            return RolloutStep::Done;
+        }
+        let replica = &self.fleet.replicas()[self.next];
+        let id = replica.id;
+        if !replica.healthy() {
+            // Upgrading through a dead shard would leave its reload
+            // state unknowable; wait for it to rejoin.
+            return RolloutStep::Paused {
+                replica: id,
+                reason: "replica down".into(),
+            };
+        }
+        replica.set_generation(Generation::InFlight);
+        match self.reload_and_verify(replica.addr()) {
+            Ok((epoch, format)) => {
+                replica.last_epoch.store(epoch, Ordering::Release);
+                replica.set_last_format(format);
+                replica.set_generation(Generation::New);
+                self.next += 1;
+                RolloutStep::Upgraded { replica: id, epoch }
+            }
+            Err(reason) => {
+                // Stay InFlight: the shard's serving state is unverified,
+                // so its users remain diverted to the old generation.
+                RolloutStep::Paused {
+                    replica: id,
+                    reason,
+                }
+            }
+        }
+    }
+
+    /// Steps until the rollout completes or pauses.
+    pub fn run(&mut self) -> RolloutReport {
+        let mut upgraded = Vec::new();
+        loop {
+            match self.step() {
+                RolloutStep::Upgraded { replica, epoch } => upgraded.push((replica, epoch)),
+                RolloutStep::Paused { replica, reason } => {
+                    return RolloutReport {
+                        completed: false,
+                        upgraded,
+                        paused: Some((replica, reason)),
+                    }
+                }
+                RolloutStep::Done => {
+                    return RolloutReport {
+                        completed: true,
+                        upgraded,
+                        paused: None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abandons the rollout, clearing diversion and pins. Upgraded
+    /// replicas keep serving whatever they reloaded (epochs only move
+    /// forward); only the routing overlay is dropped.
+    pub fn abort(&mut self) {
+        if self.active {
+            self.fleet.finish_rollout();
+            self.active = false;
+        }
+    }
+
+    fn rpc_timeout(&self) -> Duration {
+        self.config.rpc_timeout.unwrap_or(Duration::from_secs(30))
+    }
+
+    /// Issues the reload RPC and cross-checks the reported outcome
+    /// against the replica's own `/metrics` gauges.
+    fn reload_and_verify(&self, addr: SocketAddr) -> Result<(u64, StorageEncoding), String> {
+        let timeout = self.rpc_timeout();
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(1))
+            .map_err(|e| format!("reload connect failed: {e}"))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| format!("reload socket setup failed: {e}"))?;
+        let mut client = HttpClient::from_stream(stream)
+            .map_err(|e| format!("reload socket setup failed: {e}"))?;
+        let resp = client
+            .post("/admin/reload")
+            .map_err(|e| format!("reload rpc failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("reload returned {}: {}", resp.status, resp.body));
+        }
+        let epoch = parse_u64_field(&resp.body, "\"model_epoch\":")
+            .ok_or_else(|| format!("reload body missing model_epoch: {}", resp.body))?;
+        let format = parse_string_field(&resp.body, "\"snapshot_format\":\"")
+            .and_then(|s| s.parse::<StorageEncoding>().ok())
+            .ok_or_else(|| format!("reload body missing snapshot_format: {}", resp.body))?;
+        if let Some(expect) = self.config.expect_format {
+            if format != expect {
+                return Err(format!(
+                    "snapshot format mismatch: reloaded {format}, expected {expect}"
+                ));
+            }
+        }
+        // Independent verification: what the replica *reports serving*
+        // must match what the reload claimed to install.
+        let scrape = crate::fleet::probe_metrics(addr, timeout)
+            .ok_or_else(|| "verification scrape failed".to_string())?;
+        if scrape.epoch != epoch {
+            return Err(format!(
+                "epoch gauge {} does not match reloaded epoch {epoch}",
+                scrape.epoch
+            ));
+        }
+        if scrape.format != Some(format) {
+            return Err(format!(
+                "format gauge {:?} does not match reloaded format {format}",
+                scrape.format.map(|f| f.to_string())
+            ));
+        }
+        Ok((epoch, format))
+    }
+}
+
+/// Parses the integer right after `key` in a flat JSON body.
+pub fn parse_u64_field(body: &str, key: &str) -> Option<u64> {
+    let start = body.find(key)? + key.len();
+    let rest = &body[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the string right after `key` (which must include the opening
+/// quote) in a flat JSON body.
+pub fn parse_string_field<'b>(body: &'b str, key: &str) -> Option<&'b str> {
+    let start = body.find(key)? + key.len();
+    let rest = &body[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_reload_body_fields() {
+        let body = "{\"reloaded\":true,\"model_epoch\":3,\"snapshot_format\":\"f16\",\
+                    \"snapshot_bytes\":4096,\"snapshot_mapped\":true}";
+        assert_eq!(parse_u64_field(body, "\"model_epoch\":"), Some(3));
+        assert_eq!(
+            parse_string_field(body, "\"snapshot_format\":\""),
+            Some("f16")
+        );
+        assert_eq!(parse_u64_field(body, "\"missing\":"), None);
+    }
+
+    #[test]
+    fn report_renders_json() {
+        let report = RolloutReport {
+            completed: false,
+            upgraded: vec![(ReplicaId(0), 2)],
+            paused: Some((ReplicaId(1), "replica down".into())),
+        };
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"completed\":false,\"upgraded\":[{\"replica\":0,\"model_epoch\":2}],\
+             \"paused\":{\"replica\":1,\"reason\":\"replica down\"}}"
+        );
+    }
+}

@@ -50,6 +50,16 @@ impl HttpClient {
         })
     }
 
+    /// Wraps an already-connected stream, keeping whatever timeouts the
+    /// caller configured (the router uses short probe timeouts).
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            writer: stream,
+            reader,
+        })
+    }
+
     /// Issues one request on the shared connection and reads the reply.
     pub fn request(&mut self, method: &str, path: &str) -> std::io::Result<HttpResponse> {
         write!(

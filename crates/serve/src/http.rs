@@ -24,6 +24,9 @@ pub struct Request {
     pub method: String,
     /// Path without the query string (`/recommend`).
     pub path: String,
+    /// The original request target exactly as received (path plus query
+    /// string, undecoded), so a reverse proxy can forward it verbatim.
+    pub target: String,
     /// Decoded query parameters in order of appearance.
     pub query: Vec<(String, String)>,
     /// Headers with lower-cased names.
@@ -202,6 +205,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Parse
     Ok(Some(Request {
         method: method.to_string(),
         path,
+        target: target.to_string(),
         query,
         headers,
         body,
@@ -323,6 +327,7 @@ mod tests {
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/recommend");
+        assert_eq!(req.target, "/recommend?user=3&city=1&k=5");
         assert_eq!(req.query_param("user"), Some("3"));
         assert_eq!(req.query_param("city"), Some("1"));
         assert_eq!(req.query_param("k"), Some("5"));

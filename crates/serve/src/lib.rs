@@ -82,4 +82,4 @@ pub use fault::{ChaosPhase, FaultInjector, FaultPlan};
 pub use lru::LruCache;
 pub use metrics::Metrics;
 pub use server::{render_recommend_body, Engine, ServeConfig, Server};
-pub use snapshot::{ModelCell, ModelSnapshot, Reloader};
+pub use snapshot::{ModelCell, ModelSnapshot, ReloadOutcome, Reloader};

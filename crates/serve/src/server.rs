@@ -29,12 +29,13 @@ use crate::fault::FaultInjector;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::lru::LruCache;
 use crate::metrics::{Metrics, LATENCY_BUCKETS_US};
-use crate::snapshot::{ModelCell, Reloader};
+use crate::snapshot::{ModelCell, ReloadOutcome, Reloader};
 use st_data::{CityId, Dataset, UserId};
 use st_transrec_core::ModelSnapshot as FrozenModel;
 use st_transrec_core::{InferCtx, Recommendation, RetrievalConfig, STTransRec};
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -214,8 +215,11 @@ impl Engine {
         &self.cell
     }
 
-    /// Hot-reloads the checkpoint, returning the new epoch.
-    pub fn reload(&self) -> std::io::Result<u64> {
+    /// Hot-reloads the checkpoint, returning the verified outcome: the
+    /// new epoch plus the snapshot-format gauges of the generation that
+    /// just went live (what `/admin/reload` reports back to rollout
+    /// drivers).
+    pub fn reload(&self) -> std::io::Result<ReloadOutcome> {
         let reloader = self.reloader.as_ref().ok_or_else(|| {
             std::io::Error::new(
                 std::io::ErrorKind::Unsupported,
@@ -223,18 +227,14 @@ impl Engine {
             )
         })?;
         match reloader.reload_into(&self.cell) {
-            Ok(epoch) => {
+            Ok(outcome) => {
                 self.metrics.reloads_ok.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .last_reload_unix
                     .store(unix_now(), Ordering::Relaxed);
-                let current = self.cell.current();
-                self.metrics.stamp_snapshot(
-                    current.format(),
-                    current.snapshot_bytes,
-                    current.mapped,
-                );
-                Ok(epoch)
+                self.metrics
+                    .stamp_snapshot(outcome.format, outcome.snapshot_bytes, outcome.mapped);
+                Ok(outcome)
             }
             Err(e) => {
                 self.metrics.reloads_failed.fetch_add(1, Ordering::Relaxed);
@@ -268,9 +268,12 @@ impl Engine {
             ("POST", "/admin/reload") => {
                 self.metrics.reload_requests.fetch_add(1, Ordering::Relaxed);
                 match self.reload() {
-                    Ok(epoch) => Response::json(
+                    Ok(o) => Response::json(
                         200,
-                        format!("{{\"reloaded\":true,\"model_epoch\":{epoch}}}"),
+                        format!(
+                            "{{\"reloaded\":true,\"model_epoch\":{},\"snapshot_format\":\"{}\",\"snapshot_bytes\":{},\"snapshot_mapped\":{}}}",
+                            o.epoch, o.format, o.snapshot_bytes, o.mapped
+                        ),
                     ),
                     Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
                         Response::error(409, &e.to_string())
@@ -469,10 +472,16 @@ pub struct Server {
     addr: SocketAddr,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
+    conns: ConnRegistry,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     watcher_handle: Option<std::thread::JoinHandle<()>>,
 }
+
+/// Live client connections keyed by accept order, so shutdown can
+/// force-close a blocked keep-alive read instead of waiting out its
+/// idle timeout.
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 impl Server {
     /// Binds and starts serving `engine` under `config`.
@@ -485,13 +494,15 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
 
         // Fixed worker pool fed by an accept thread over a channel.
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (conn_tx, conn_rx) = mpsc::channel::<(u64, TcpStream)>();
         let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let workers = config.workers.max(1);
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = conn_rx.clone();
             let engine = engine.clone();
+            let registry = conns.clone();
             let idle = config.idle_timeout;
             worker_handles.push(
                 std::thread::Builder::new()
@@ -499,7 +510,13 @@ impl Server {
                     .spawn(move || loop {
                         let conn = rx.lock().expect("conn rx poisoned").recv();
                         match conn {
-                            Ok(stream) => handle_connection(&engine, stream, idle),
+                            Ok((conn_id, stream)) => {
+                                handle_connection(&engine, stream, idle);
+                                registry
+                                    .lock()
+                                    .expect("conn registry poisoned")
+                                    .remove(&conn_id);
+                            }
                             Err(_) => return, // accept thread gone: shutdown
                         }
                     })
@@ -508,16 +525,26 @@ impl Server {
         }
 
         let accept_stop = stop.clone();
+        let accept_conns = conns.clone();
         let accept_handle = std::thread::Builder::new()
             .name("st-serve-accept".into())
             .spawn(move || {
+                let mut next_id = 0u64;
                 for stream in listener.incoming() {
                     if accept_stop.load(Ordering::Acquire) {
                         break; // the shutdown self-connection lands here
                     }
                     match stream {
                         Ok(stream) => {
-                            if conn_tx.send(stream).is_err() {
+                            let conn_id = next_id;
+                            next_id += 1;
+                            if let Ok(clone) = stream.try_clone() {
+                                accept_conns
+                                    .lock()
+                                    .expect("conn registry poisoned")
+                                    .insert(conn_id, clone);
+                            }
+                            if conn_tx.send((conn_id, stream)).is_err() {
                                 break;
                             }
                         }
@@ -558,6 +585,7 @@ impl Server {
             addr,
             engine,
             stop,
+            conns,
             accept_handle: Some(accept_handle),
             worker_handles,
             watcher_handle,
@@ -592,6 +620,11 @@ impl Server {
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
+        }
+        // Force-close live keep-alive connections so blocked worker
+        // reads fail now rather than at their idle timeout.
+        for (_, stream) in self.conns.lock().expect("conn registry poisoned").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
         }
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();

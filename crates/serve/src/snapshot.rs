@@ -57,6 +57,24 @@ impl ModelSnapshot {
     }
 }
 
+/// What a verified reload actually put into service. Carries the
+/// snapshot gauges alongside the epoch so callers that gate on a reload
+/// — the `/admin/reload` endpoint, an online publisher, the router's
+/// rolling-rollout driver — can assert the *expected format* landed,
+/// not just that some epoch bump happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// Serving epoch after the swap.
+    pub epoch: u64,
+    /// Storage encoding of the generation now serving (f32 / f16 / int8).
+    pub format: StorageEncoding,
+    /// Bytes backing the new generation (container size for mapped v2
+    /// loads, resident table bytes otherwise).
+    pub snapshot_bytes: u64,
+    /// True when the new generation serves zero-copy out of a mapped file.
+    pub mapped: bool,
+}
+
 /// The atomically swappable current snapshot.
 pub struct ModelCell {
     current: RwLock<Arc<ModelSnapshot>>,
@@ -277,10 +295,19 @@ impl Reloader {
         Ok(loaded)
     }
 
-    /// Loads and swaps in one step, returning the new epoch.
-    pub fn reload_into(&self, cell: &ModelCell) -> std::io::Result<u64> {
+    /// Loads and swaps in one step, returning the verified outcome: the
+    /// new epoch plus the snapshot-format gauges of what is now serving.
+    pub fn reload_into(&self, cell: &ModelCell) -> std::io::Result<ReloadOutcome> {
         let (frozen, bytes) = self.load_frozen()?;
-        Ok(cell.swap_frozen(frozen, Some(bytes)))
+        let format = frozen.encoding();
+        let mapped = frozen.is_mapped();
+        let epoch = cell.swap_frozen(frozen, Some(bytes));
+        Ok(ReloadOutcome {
+            epoch,
+            format,
+            snapshot_bytes: bytes,
+            mapped,
+        })
     }
 
     /// True when the checkpoint file's mtime differs from the last load
@@ -381,7 +408,10 @@ mod tests {
 
         let cell = ModelCell::new(STTransRec::new(&d, &s, ModelConfig::test_small()));
         let reloader = Reloader::new(d.clone(), s.clone(), ModelConfig::test_small(), &path);
-        assert_eq!(reloader.reload_into(&cell).unwrap(), 2);
+        let outcome = reloader.reload_into(&cell).unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.format, st_tensor::StorageEncoding::F32);
+        assert!(!outcome.mapped, "v1 checkpoints rebuild in memory");
 
         // Corrupt the file: reload fails, epoch unchanged.
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
@@ -409,7 +439,10 @@ mod tests {
 
         // f32 v2: mapped zero-copy reload, bit-identical scores.
         st_tensor::save_params_atomic(trained.params(), &path).unwrap();
-        assert_eq!(reloader.reload_into(&cell).unwrap(), 2);
+        let outcome = reloader.reload_into(&cell).unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.format, StorageEncoding::F32);
+        assert!(outcome.mapped, "outcome must report the mapped load");
         let snap = cell.current();
         assert!(snap.mapped, "v2 reload must map, not parse");
         assert_eq!(snap.format(), StorageEncoding::F32);
@@ -419,7 +452,13 @@ mod tests {
 
         // int8 v2: mapped, quantized format surfaced, scores close.
         st_tensor::save_params_atomic_as(trained.params(), &path, StorageEncoding::I8).unwrap();
-        assert_eq!(reloader.reload_into(&cell).unwrap(), 3);
+        let outcome = reloader.reload_into(&cell).unwrap();
+        assert_eq!(outcome.epoch, 3);
+        assert_eq!(
+            outcome.format,
+            StorageEncoding::I8,
+            "reload-verify must surface the quantized format"
+        );
         let snap = cell.current();
         assert_eq!(snap.format(), StorageEncoding::I8);
         assert!(snap.mapped);
