@@ -170,14 +170,15 @@ fn run_fleet_mode(mut args: std::env::Args) -> ! {
     );
     let c = &report.chaos.counts;
     eprintln!(
-        "  chaos {} phases: submitted {} = served {} + remapped {} + unreachable {} + dark {} + expired {}",
+        "  chaos {} phases: submitted {} = served {} + remapped {} + unreachable {} + dark {} + expired {} + failed {}",
         report.chaos.phases,
         c.submitted,
         c.served,
         c.served_remapped,
         c.unreachable_503,
         c.dark_503,
-        c.expired_503
+        c.expired_503,
+        c.failed_500
     );
     eprintln!(
         "  chaos conservation {} | metrics consistent {} | reproducible {}",

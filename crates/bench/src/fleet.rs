@@ -467,8 +467,12 @@ pub struct FleetCounts {
     pub unreachable_503: usize,
     /// Fast `503`s while a breaker was open.
     pub dark_503: usize,
-    /// Relayed backend `503`s from deadline expiry in hang phases.
+    /// Relayed backend `503`s from deadline expiry in hang phases
+    /// (deliberate sheds: breaker-exempt).
     pub expired_503: usize,
+    /// Relayed backend `500`s from forced scorer failures (unexpected
+    /// 5xx: these are what trip the breaker in hang phases).
+    pub failed_500: usize,
     /// Breaker open transitions observed.
     pub breaker_opened: usize,
     /// Breakers closed again via half-open probes.
@@ -484,6 +488,7 @@ json_object_impl!(FleetCounts {
     unreachable_503,
     dark_503,
     expired_503,
+    failed_500,
     breaker_opened,
     breaker_closed,
     rollouts_completed,
@@ -500,7 +505,7 @@ pub struct FleetChaosReport {
     pub phases: usize,
     /// First pass's count signature.
     pub counts: FleetCounts,
-    /// `submitted = served + served_remapped + every 503 class`.
+    /// `submitted = served + served_remapped + every shed/error class`.
     pub conservation_ok: bool,
     /// Router metrics agree with the client-side tallies.
     pub metrics_consistent: bool,
@@ -684,21 +689,22 @@ impl ChaosDriver {
                 self.harness.injectors[victim].freeze();
                 // Park `hung` requests in the frozen queue from parallel
                 // connections, hold the freeze past the deadline, thaw:
-                // every parked request comes back a relayed 503, and the
-                // relays trip the router breaker.
+                // every parked request comes back a relayed 503 shed
+                // (deadline-exceeded + Retry-After).
                 let addr = self.harness.router_addr();
                 let city = self.target_city;
                 let users: Vec<u32> = (0..hung).map(|_| self.next_user(victim)).collect();
                 self.counts.submitted += hung;
-                let statuses: Vec<u16> = std::thread::scope(|scope| {
+                let sheds: Vec<(u16, bool)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = users
                         .iter()
                         .map(|&user| {
                             scope.spawn(move || {
                                 let mut c = HttpClient::connect(addr).expect("connect");
-                                c.get(&format!("/recommend?user={user}&city={city}&k=10"))
-                                    .expect("parked request resolves")
-                                    .status
+                                let resp = c
+                                    .get(&format!("/recommend?user={user}&city={city}&k=10"))
+                                    .expect("parked request resolves");
+                                (resp.status, resp.header("retry-after").is_some())
                             })
                         })
                         .collect();
@@ -707,13 +713,37 @@ impl ChaosDriver {
                     self.harness.injectors[victim].thaw();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
                 });
-                for (i, status) in statuses.iter().enumerate() {
+                for (i, (status, retry_after)) in sheds.iter().enumerate() {
                     self.expect(
                         "hang expiry",
-                        *status == 503,
-                        format!("parked request {i}: {status}"),
+                        *status == 503 && *retry_after,
+                        format!("parked request {i}: {status} retry-after={retry_after}"),
                     );
                     self.counts.expired_503 += 1;
+                }
+                // Deliberate sheds are breaker-exempt: `hung` consecutive
+                // overload 503s (≥ threshold) must leave the shard lit.
+                {
+                    let breaker = &self.harness.fleet.replica(ReplicaId(victim as u16)).breaker;
+                    self.expect(
+                        "hang sheds breaker-exempt",
+                        breaker.state() == BreakerState::Closed,
+                        format!("state {}", breaker.state()),
+                    );
+                }
+                // Now trip the breaker with *unexpected* 5xx: force the
+                // next `threshold` batches to fail their scorer; each
+                // request comes back a relayed 500.
+                self.harness.injectors[victim].fail_next_batches(BREAKER_THRESHOLD as u64);
+                for i in 0..BREAKER_THRESHOLD as usize {
+                    let user = self.next_user(victim);
+                    let resp = self.get(user);
+                    self.expect(
+                        "hang scorer failure",
+                        resp.status == 500 && resp.body.contains("scorer failed"),
+                        format!("request {i}: {} {}", resp.status, resp.body),
+                    );
+                    self.counts.failed_500 += 1;
                 }
                 let breaker = &self.harness.fleet.replica(ReplicaId(victim as u16)).breaker;
                 self.expect(
@@ -802,7 +832,7 @@ impl ChaosDriver {
         let c = &self.counts;
         scrape("st_router_recommend_requests_total ") == Some(c.submitted as u64)
             && scrape("st_router_forwarded_total ")
-                == Some((c.served + c.served_remapped + c.expired_503) as u64)
+                == Some((c.served + c.served_remapped + c.expired_503 + c.failed_500) as u64)
             && scrape("st_router_forward_errors_total ") == Some(c.unreachable_503 as u64)
             && scrape("st_router_dark_shard_503_total ") == Some(c.dark_503 as u64)
             && scrape("st_router_epoch_pin_503_total ") == Some(0)
@@ -859,7 +889,12 @@ pub fn run_fleet_suite(
     }
     let c = &counts_a;
     let conservation_ok = c.submitted
-        == c.served + c.served_remapped + c.unreachable_503 + c.dark_503 + c.expired_503;
+        == c.served
+            + c.served_remapped
+            + c.unreachable_503
+            + c.dark_503
+            + c.expired_503
+            + c.failed_500;
     let chaos = FleetChaosReport {
         seed,
         replicas: plan.replicas as usize,

@@ -1,10 +1,11 @@
 //! Per-replica circuit breaker.
 //!
 //! Extends the PR 5 shed/degrade philosophy one tier up: when a replica
-//! keeps failing (transport errors or backend 5xx — *not* 429 sheds,
-//! which are the backend protecting itself), the router stops burning
-//! connections on it and answers `503` + `Retry-After` for that shard
-//! immediately ("dark shard"). After a cooldown the breaker half-opens
+//! keeps failing (transport errors or *unexpected* backend 5xx — not
+//! 429s or Retry-After-stamped 503 sheds, which are the backend
+//! protecting itself), the router stops burning connections on it and
+//! answers `503` + `Retry-After` for that shard immediately ("dark
+//! shard"). After a cooldown the breaker half-opens
 //! and admits exactly one probe request; its outcome closes or re-opens
 //! the breaker.
 //!

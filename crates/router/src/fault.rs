@@ -2,9 +2,9 @@
 //!
 //! Extends the PR 5 [`st_serve::FaultPlan`] idea one tier up: a
 //! [`FleetFaultPlan`] expands a single `u64` seed into a sequence of
-//! [`FleetChaosPhase`]s — replica kills, batcher hangs that trip
-//! breakers, and rolling reloads — with all victims and request counts
-//! fixed by the seed. The fleet-chaos harness (in `st-bench`) executes
+//! [`FleetChaosPhase`]s — replica kills, batcher hangs plus forced
+//! scorer failures that trip breakers, and rolling reloads — with all
+//! victims and request counts fixed by the seed. The fleet-chaos harness (in `st-bench`) executes
 //! the phases single-threaded against an in-process fleet, so two runs
 //! with the same seed must produce bit-identical count signatures.
 
@@ -35,14 +35,18 @@ pub enum FleetChaosPhase {
         after: usize,
     },
     /// Freeze one replica's batcher so queued requests die of deadline
-    /// expiry (backend 503s), tripping the router breaker; the breaker
-    /// then fast-rejects, is forced half-open, and a probe request
-    /// closes it.
+    /// expiry: the backend's Retry-After-stamped 503 sheds are relayed
+    /// and must *not* trip the router breaker (deliberate flow control
+    /// is breaker-exempt). The phase then forces scorer failures —
+    /// genuine unexpected 5xx — on the same replica to trip the breaker,
+    /// observes fast dark-shard rejects, forces half-open, and closes it
+    /// with a successful probe request.
     HangBreaker {
-        /// Which replica hangs.
+        /// Which replica hangs (and then fails its scorer).
         victim: u16,
         /// Requests parked in the frozen queue (≥ breaker threshold,
-        /// ≤ the harness queue capacity).
+        /// ≤ the harness queue capacity) — enough sheds that the old
+        /// 5xx-counts-all accounting would have darkened the shard.
         hung: usize,
         /// Fast dark-shard rejects observed while the breaker is open.
         dark: usize,

@@ -32,8 +32,10 @@ pub struct RouterMetrics {
     pub forward_errors_total: AtomicU64,
     /// Stale pooled backend connections silently replaced (not failures).
     pub conn_retries_total: AtomicU64,
-    /// Rolling rollouts started / completed / paused.
+    /// Rolling rollouts started fresh.
     pub rollouts_started: AtomicU64,
+    /// Reload POSTs that resumed an already-active (paused) rollout.
+    pub rollouts_resumed: AtomicU64,
     /// Rollouts that upgraded every replica.
     pub rollouts_completed: AtomicU64,
     /// Rollout steps that paused (replica down or verify failed).
@@ -61,7 +63,7 @@ impl RouterMetrics {
     /// Renders the exposition, joining counters with live fleet gauges.
     pub fn render(&self, fleet: &Fleet) -> String {
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &AtomicU64); 12] = [
+        let counters: [(&str, &AtomicU64); 13] = [
             ("st_router_requests_total", &self.requests_total),
             (
                 "st_router_recommend_requests_total",
@@ -75,6 +77,7 @@ impl RouterMetrics {
             ("st_router_forward_errors_total", &self.forward_errors_total),
             ("st_router_conn_retries_total", &self.conn_retries_total),
             ("st_router_rollouts_started_total", &self.rollouts_started),
+            ("st_router_rollouts_resumed_total", &self.rollouts_resumed),
             (
                 "st_router_rollouts_completed_total",
                 &self.rollouts_completed,

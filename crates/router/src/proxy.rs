@@ -144,6 +144,13 @@ fn invalid(msg: impl Into<String>) -> std::io::Error {
 }
 
 /// Reads one response preserving the exact status and header lines.
+///
+/// Only `Content-Length` framing is supported; a response that carries
+/// `Transfer-Encoding` or omits `Content-Length` (outside the bodiless
+/// 1xx/204/304 statuses) is an error. Erroring — rather than guessing a
+/// length of zero — matters for the connection pool: unread body bytes
+/// left in a pooled keep-alive connection would desynchronize every
+/// later response on it, and `forward` never pools a failed connection.
 fn read_raw_response<R: BufRead>(reader: &mut R) -> std::io::Result<RawResponse> {
     let mut status_line = String::new();
     if reader.read_line(&mut status_line)? == 0 {
@@ -156,7 +163,7 @@ fn read_raw_response<R: BufRead>(reader: &mut R) -> std::io::Result<RawResponse>
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| invalid(format!("bad status line {status_line:?}")))?;
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -167,15 +174,25 @@ fn read_raw_response<R: BufRead>(reader: &mut R) -> std::io::Result<RawResponse>
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| invalid("bad content-length"))?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid("bad content-length"))?,
+                );
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(invalid("transfer-encoding framing not supported"));
             }
         }
         headers.push(line);
     }
+    let content_length = match content_length {
+        Some(n) => n,
+        None if status == 204 || status == 304 || (100..200).contains(&status) => 0,
+        None => return Err(invalid("response without content-length")),
+    };
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok(RawResponse {
@@ -335,7 +352,14 @@ impl Router {
                 }
                 // Backend 5xx counts against the breaker (the shard is
                 // failing); 429/4xx are the backend's own flow control.
-                if raw.status >= 500 {
+                // A 503 carrying Retry-After is a *deliberate* shed
+                // (st-serve's deadline machinery protecting itself, the
+                // same contract as its 429): the replica is alive and
+                // answering, so relay it without darkening the shard —
+                // three overload sheds must not convert a transient
+                // spike into a cooldown-long outage.
+                let deliberate_shed = raw.status == 503 && raw.header("retry-after").is_some();
+                if raw.status >= 500 && !deliberate_shed {
                     replica.breaker.record_failure(Instant::now());
                 } else {
                     replica.breaker.record_success();
@@ -399,9 +423,18 @@ impl Router {
                 Err(_) => return Response::error(400, &format!("unknown snapshot format {s:?}")),
             },
         };
-        self.metrics
-            .rollouts_started
-            .fetch_add(1, Ordering::Relaxed);
+        // The driver is per-request, but the rollout's position lives on
+        // the fleet: when one is already active this POST *resumes* it
+        // at the blocking shard, preserving pins and generation labels.
+        if self.fleet.rollout_active() {
+            self.metrics
+                .rollouts_resumed
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics
+                .rollouts_started
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let mut driver = RolloutDriver::new(
             &self.fleet,
             RolloutConfig {
@@ -550,10 +583,20 @@ impl RouterServer {
                 .name("st-router-probe".into())
                 .spawn(move || {
                     // Probe immediately so the fleet starts with real
-                    // health/epoch data, then on the interval.
+                    // health/epoch data, then on the interval. The wait
+                    // is sliced so shutdown joins this thread promptly
+                    // instead of blocking up to a full probe interval.
                     router.fleet.probe_all();
-                    while !stop.load(Ordering::Acquire) {
-                        std::thread::sleep(interval);
+                    let slice = Duration::from_millis(25).min(interval);
+                    'probe: loop {
+                        let mut waited = Duration::ZERO;
+                        while waited < interval {
+                            if stop.load(Ordering::Acquire) {
+                                break 'probe;
+                            }
+                            std::thread::sleep(slice);
+                            waited += slice;
+                        }
                         router.fleet.probe_all();
                     }
                 })
@@ -671,6 +714,26 @@ mod tests {
         assert!(is_hop_by_hop("transfer-encoding: chunked"));
         assert!(!is_hop_by_hop("Content-Type: application/json"));
         assert!(!is_hop_by_hop("X-Cache: HIT"));
+    }
+
+    #[test]
+    fn unframeable_responses_are_rejected_not_guessed() {
+        // Chunked framing would leave the chunk bytes unread in a pooled
+        // connection; the reader must refuse it outright.
+        let chunked = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\n{}\r\n0\r\n\r\n";
+        let err = read_raw_response(&mut BufReader::new(&chunked[..])).unwrap_err();
+        assert!(err.to_string().contains("transfer-encoding"), "{err}");
+
+        // Same for a close-delimited body (no Content-Length at all).
+        let unframed = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello";
+        let err = read_raw_response(&mut BufReader::new(&unframed[..])).unwrap_err();
+        assert!(err.to_string().contains("content-length"), "{err}");
+
+        // Bodiless statuses may legitimately omit the header.
+        let no_content = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let raw = read_raw_response(&mut BufReader::new(&no_content[..])).unwrap();
+        assert_eq!(raw.status, 204);
+        assert!(raw.body.is_empty());
     }
 
     #[test]

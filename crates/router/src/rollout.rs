@@ -20,6 +20,13 @@
 //! generation, and a later [`RolloutDriver::step`] retries the same
 //! shard. Pausing instead of skipping is what keeps the "no mixed epochs
 //! for one user" invariant trivially true under mid-rollout failures.
+//!
+//! The rollout's position lives on the [`Fleet`] (generation labels +
+//! the `rollout_active` flag), not in the driver: a *fresh* driver over
+//! a fleet whose rollout is already active resumes at the first
+//! not-yet-verified shard, preserving pins and labels. That is what lets
+//! each `POST /admin/reload` build its own short-lived driver and still
+//! continue a paused rollout instead of restarting it.
 
 use crate::fleet::{Fleet, Generation};
 use crate::ring::ReplicaId;
@@ -126,9 +133,25 @@ impl<'a> RolloutDriver<'a> {
     /// Advances the rollout by (at most) one shard.
     pub fn step(&mut self) -> RolloutStep {
         if !self.active {
-            self.fleet.begin_rollout();
+            if self.fleet.rollout_active() {
+                // Resume the rollout already overlaying this fleet
+                // (e.g. a re-POST after a pause): keep the pins and
+                // generation labels, and recover the position as the
+                // first shard not yet verified onto the new generation.
+                // Restarting here would relabel upgraded replicas Old
+                // and clear the pin set — an epoch regression for every
+                // user already served by the new model.
+                self.next = self
+                    .fleet
+                    .replicas()
+                    .iter()
+                    .position(|r| r.generation() != Generation::New)
+                    .unwrap_or(self.fleet.len());
+            } else {
+                self.fleet.begin_rollout();
+                self.next = 0;
+            }
             self.active = true;
-            self.next = 0;
         }
         if self.next >= self.fleet.len() {
             self.fleet.finish_rollout();
@@ -274,6 +297,45 @@ pub fn parse_string_field<'b>(body: &'b str, key: &str) -> Option<&'b str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::FleetConfig;
+    use crate::ring::RouteKey;
+
+    #[test]
+    fn fresh_driver_resumes_paused_rollout_without_resetting_state() {
+        // Nothing listens on port 1: any reload attempt fails fast, so
+        // this exercises only the position/state logic.
+        let addrs: Vec<SocketAddr> = (0..3).map(|_| "127.0.0.1:1".parse().unwrap()).collect();
+        let fleet = Fleet::new(&addrs, FleetConfig::default());
+
+        // An earlier driver (a previous /admin/reload) upgraded shard 0,
+        // pinned one of its users to the new generation, and paused.
+        fleet.begin_rollout();
+        fleet.replica(ReplicaId(0)).set_generation(Generation::New);
+        fleet.note_served(RouteKey::User(7), ReplicaId(0));
+        assert_eq!(fleet.pinned_count(), 1);
+
+        // A fresh driver (the re-POST) must resume at shard 1, not
+        // restart: shard 0 stays New and the pin survives.
+        let mut driver = RolloutDriver::new(&fleet, RolloutConfig::default());
+        match driver.step() {
+            RolloutStep::Paused { replica, .. } => assert_eq!(replica, ReplicaId(1)),
+            other => panic!("expected pause at shard 1, got {other:?}"),
+        }
+        assert_eq!(driver.position(), 1);
+        assert_eq!(fleet.replica(ReplicaId(0)).generation(), Generation::New);
+        assert_eq!(fleet.pinned_count(), 1, "resume must not clear pins");
+        assert!(fleet.rollout_active());
+
+        // Once every shard is verified New, a fresh driver just closes
+        // out the rollout.
+        for r in fleet.replicas() {
+            r.set_generation(Generation::New);
+        }
+        let mut closer = RolloutDriver::new(&fleet, RolloutConfig::default());
+        assert_eq!(closer.step(), RolloutStep::Done);
+        assert!(!fleet.rollout_active());
+        assert_eq!(fleet.pinned_count(), 0);
+    }
 
     #[test]
     fn parses_reload_body_fields() {

@@ -279,6 +279,69 @@ fn replica_death_trips_breaker_then_probes_remap_then_rejoin_restores() {
 }
 
 #[test]
+fn backend_deadline_sheds_relay_without_tripping_the_breaker() {
+    // A frozen batcher ages queued jobs past their deadline: st-serve
+    // answers 503 deadline-exceeded + Retry-After for each. Those are
+    // the backend protecting itself — the router must relay them (like
+    // its 429s) without counting them toward the shard's breaker, or a
+    // transient overload would become a cooldown-long dark window.
+    let config = ServeConfig {
+        batch: BatchConfig {
+            queue_capacity: 8,
+            deadline: Duration::from_millis(100),
+            ..BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let mut fx = FleetFixture::start("shed-breaker", 2, config);
+    let victim = 0usize;
+    let users = fx.users_owned_by(victim, BREAKER_THRESHOLD as usize);
+    let router_addr = fx.router_addr();
+
+    fx.replicas[victim].injector.freeze();
+    let handles: Vec<_> = users
+        .iter()
+        .map(|&user| {
+            std::thread::spawn(move || {
+                let mut c = HttpClient::connect(router_addr).expect("connect router");
+                c.get(&format!("/recommend?user={user}&city=1&k=6"))
+                    .expect("shed request resolves")
+            })
+        })
+        .collect();
+    fx.wait_for_depth(victim, BREAKER_THRESHOLD as usize);
+
+    // Let every parked job age out, then thaw: breaker-threshold-many
+    // consecutive 503 sheds come back through the router.
+    std::thread::sleep(Duration::from_millis(250));
+    fx.replicas[victim].injector.thaw();
+    for handle in handles {
+        let resp = handle.join().expect("shed thread");
+        assert_eq!(resp.status, 503, "body: {}", resp.body);
+        assert!(resp.body.contains("deadline-exceeded"), "{}", resp.body);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(resp.header("x-router-replica").is_some(), "relayed");
+    }
+
+    // The shard is alive and must stay routable: no breaker trip, no
+    // dark-shard shedding, and the next request is served normally.
+    assert_eq!(
+        fx.fleet.replica(ReplicaId(victim as u16)).breaker.state(),
+        BreakerState::Closed,
+        "deliberate sheds must not darken the shard"
+    );
+    let mut router = HttpClient::connect(router_addr).expect("connect router");
+    let ok = router
+        .get(&format!("/recommend?user={}&city=1&k=6", users[0]))
+        .expect("post-thaw request");
+    assert_eq!(ok.status, 200, "body: {}", ok.body);
+    let metrics = router.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("st_router_dark_shard_503_total 0"));
+
+    fx.shutdown();
+}
+
+#[test]
 fn admin_reload_rolls_the_whole_fleet_with_verification() {
     let mut fx = FleetFixture::start("rollout", 2, ServeConfig::default());
     // Publish a second generation (one more training epoch).

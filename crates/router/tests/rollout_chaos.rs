@@ -179,6 +179,85 @@ fn replica_death_mid_rollout_pauses_without_mixing_epochs() {
 }
 
 #[test]
+fn reposting_admin_reload_resumes_paused_rollout_over_http() {
+    // The HTTP path builds a fresh RolloutDriver per POST; this drives
+    // pause/resume purely through /admin/reload to prove a re-POST
+    // continues the paused rollout (preserving upgraded shards and
+    // pins) instead of restarting it.
+    let mut fx = FleetFixture::start("rollout-resume", 3, ServeConfig::default());
+    let users: Vec<u32> = (0..3).map(|shard| fx.user_owned_by(shard)).collect();
+    let mut client = HttpClient::connect(fx.router_addr()).expect("connect router");
+    let mut last_epoch = HashMap::new();
+    let mut tally = Tally::default();
+    sweep(&mut client, &users, &mut last_epoch, &mut tally);
+
+    // Publish generation 2, kill shard 1, and start the rollout: shard 0
+    // upgrades, then the rollout pauses at the corpse.
+    fx.oracle.train_epoch(&fx.dataset.clone());
+    st_tensor::save_params_atomic(fx.oracle.params(), &fx.ckpt).expect("resave ckpt");
+    fx.kill_replica(1);
+    fx.probe_down();
+    let paused = client.post("/admin/reload").expect("rollout rpc");
+    assert_eq!(paused.status, 503, "body: {}", paused.body);
+    assert!(paused.body.contains("\"completed\":false"), "{}", paused.body);
+    assert!(
+        paused.body.contains("{\"replica\":0,\"model_epoch\":2}"),
+        "shard 0 upgraded before the pause: {}",
+        paused.body
+    );
+
+    // Shard 0's user is served by the new generation and pins to it.
+    sweep(&mut client, &users, &mut last_epoch, &mut tally);
+    assert_eq!(last_epoch[&users[0]], 2);
+    assert!(fx.fleet.pinned_count() >= 1, "shard-0 user is pinned");
+
+    // Re-POST while the shard is still down: the rollout must *resume*
+    // at shard 1 — not restart. A restart would re-reload shard 0
+    // (bumping it to epoch 3) and clear the pin set.
+    let still = client.post("/admin/reload").expect("rollout rpc");
+    assert_eq!(still.status, 503, "body: {}", still.body);
+    assert!(
+        still.body.contains("\"upgraded\":[]"),
+        "resume must not re-upgrade shard 0: {}",
+        still.body
+    );
+    assert!(fx.fleet.pinned_count() >= 1, "resume must not clear pins");
+    sweep(&mut client, &users, &mut last_epoch, &mut tally);
+    assert_eq!(
+        last_epoch[&users[0]], 2,
+        "shard 0 must not be reloaded twice"
+    );
+
+    // Rejoin and re-POST: the rollout finishes from where it paused,
+    // upgrading exactly shards 1 and 2.
+    fx.rejoin_replica(1);
+    let done = client.post("/admin/reload").expect("rollout rpc");
+    assert_eq!(done.status, 200, "body: {}", done.body);
+    assert!(done.body.contains("\"completed\":true"), "{}", done.body);
+    assert!(
+        done.body.contains(
+            "\"upgraded\":[{\"replica\":1,\"model_epoch\":2},{\"replica\":2,\"model_epoch\":2}]"
+        ),
+        "resume finishes the remaining shards only: {}",
+        done.body
+    );
+    assert!(!fx.fleet.rollout_active());
+    sweep(&mut client, &users, &mut last_epoch, &mut tally);
+    for (&user, &epoch) in &last_epoch {
+        assert_eq!(epoch, 2, "user {user} never reached the new generation");
+    }
+    assert_eq!(tally.submitted, tally.served, "nothing lost across resume");
+
+    // The ledger distinguishes the fresh start from the two resumes.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("st_router_rollouts_started_total 1"));
+    assert!(metrics.body.contains("st_router_rollouts_resumed_total 2"));
+    assert!(metrics.body.contains("st_router_rollouts_completed_total 1"));
+
+    fx.shutdown();
+}
+
+#[test]
 fn pinned_users_shed_when_their_upgraded_owner_dies() {
     // The pin rule in isolation, on a 2-replica fleet: once a user is
     // served by the new generation, the only acceptable answers are

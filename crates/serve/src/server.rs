@@ -401,7 +401,11 @@ impl Engine {
                     .with_header("Retry-After", "1");
             }
             Err(SubmitError::DeadlineExceeded) => {
-                return Response::error(503, "deadline-exceeded");
+                // Retry-After marks this as a deliberate overload shed
+                // (like the 429 above): the server is alive, the job
+                // just aged out. The router relies on this marker to
+                // keep deliberate sheds out of its circuit breakers.
+                return Response::error(503, "deadline-exceeded").with_header("Retry-After", "1");
             }
             Err(SubmitError::ShuttingDown) => {
                 return Response::error(503, "server shutting down");
